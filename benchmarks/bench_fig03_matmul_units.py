@@ -1,0 +1,14 @@
+"""Figure 3: GEMM latency on CUDA cores vs Tensor Core Units."""
+
+from repro.bench import run_fig3
+from repro.hardware.gpu import GPUDevice
+
+
+def test_fig3_series(print_series, benchmark):
+    result = run_fig3()
+    print_series(result)
+    for dim in result.configs():
+        assert (result.find(dim, "TCUs").seconds
+                < result.find(dim, "CUDA cores").seconds)
+    device = GPUDevice()
+    benchmark(lambda: device.tcu.matmul_seconds(4096, 4096, 4096))

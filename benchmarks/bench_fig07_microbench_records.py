@@ -1,0 +1,20 @@
+"""Figure 7(a-c): Q1/Q3/Q4 vs record count (K=32 distinct)."""
+
+import pytest
+
+from repro.bench import run_fig7
+from repro.datasets.microbench import QUERY_Q1, microbench_catalog
+from repro.engine.base import ExecutionMode
+from repro.engine.tcudb import TCUDBEngine
+
+
+@pytest.mark.parametrize("query", ["q1", "q3", "q4"])
+def test_fig7_series(print_series, benchmark, query):
+    result = run_fig7(query)
+    print_series(result)
+    for config in result.configs():
+        assert (result.find(config, "TCUDB").normalized
+                < result.find(config, "YDB").normalized)
+    catalog = microbench_catalog(8192, 32, seed=7)
+    engine = TCUDBEngine(catalog, mode=ExecutionMode.ANALYTIC)
+    benchmark(lambda: engine.execute(QUERY_Q1))

@@ -1,0 +1,18 @@
+"""Figure 10: the matrix-multiplication query (Figure 5) at scale."""
+
+from repro.bench import run_fig10
+from repro.datasets.matmul import MATMUL_QUERY, matmul_catalog
+from repro.engine.base import ExecutionMode
+from repro.engine.tcudb import TCUDBEngine
+
+
+def test_fig10_series(print_series, benchmark):
+    result = run_fig10()
+    print_series(result)
+    assert result.find("32768", "TCUDB").note == "blocked"
+    for dim in ("4096", "8192", "16384", "32768"):
+        assert (result.find(dim, "TCUDB").normalized
+                < result.find(dim, "YDB").normalized)
+    catalog = matmul_catalog(256, seed=10)
+    engine = TCUDBEngine(catalog, mode=ExecutionMode.ANALYTIC)
+    benchmark(lambda: engine.execute(MATMUL_QUERY))

@@ -1,0 +1,21 @@
+"""Figure 11(a-c): entity-matching blocking queries."""
+
+import pytest
+
+from repro.bench import run_fig11
+from repro.datasets.em import beer_catalog
+from repro.engine.base import ExecutionMode
+from repro.engine.tcudb import TCUDBEngine
+from repro.workloads.em_blocking import beer_blocking_query
+
+
+@pytest.mark.parametrize("dataset", ["beer", "itunes", "itunes_scaled"])
+def test_fig11_series(print_series, benchmark, dataset):
+    result = run_fig11(dataset)
+    print_series(result)
+    for point in result.points:
+        if point.engine == "TCUDB":
+            assert point.normalized < 1.0, point.config
+    catalog = beer_catalog(seed=11)
+    engine = TCUDBEngine(catalog, mode=ExecutionMode.ANALYTIC)
+    benchmark(lambda: engine.execute(beer_blocking_query("abv")))

@@ -1,0 +1,21 @@
+"""Figure 12(a-c): PageRank queries PR Q1/Q2/Q3 across graph sizes."""
+
+import pytest
+
+from repro.bench import run_fig12
+from repro.bench.exp_casestudies import _pagerank_catalog
+from repro.engine.base import ExecutionMode
+from repro.engine.tcudb import TCUDBEngine
+from repro.workloads.pagerank import PR_Q1
+
+
+@pytest.mark.parametrize("query", ["q1", "q2", "q3"])
+def test_fig12_series(print_series, benchmark, query):
+    result = run_fig12(query)
+    print_series(result)
+    for config in result.configs():
+        assert (result.find(config, "TCUDB").seconds
+                < result.find(config, "YDB").seconds)
+    graph, catalog = _pagerank_catalog(2048, seed=12)
+    engine = TCUDBEngine(catalog, mode=ExecutionMode.ANALYTIC)
+    benchmark(lambda: engine.execute(PR_Q1))

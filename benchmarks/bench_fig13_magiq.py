@@ -1,0 +1,19 @@
+"""Figure 13: PR Q3 core latency — MonetDB / YDB / MAGiQ / TCUDB."""
+
+from repro.bench import run_fig13
+from repro.datasets.graphs import reduced_road_graph
+from repro.engine.magiq import MAGiQEngine
+
+
+def test_fig13_series(print_series, benchmark):
+    result = run_fig13()
+    print_series(result)
+    for size in ("1024", "2048", "4096"):
+        assert (result.find(size, "TCUDB").normalized
+                <= result.find(size, "MAGiQ").normalized)
+        assert (result.find(size, "MAGiQ").normalized
+                < result.find(size, "MonetDB").normalized)
+    graph = reduced_road_graph(4096, seed=13)
+    engine = MAGiQEngine()
+    engine.load_graph(graph.src, graph.dst, graph.n_nodes)
+    benchmark(engine.pr_q3_core_seconds)

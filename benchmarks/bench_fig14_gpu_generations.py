@@ -1,0 +1,19 @@
+"""Figure 14: RTX 3090 over RTX 2080 microbenchmark speedups."""
+
+from repro.bench import run_fig14
+from repro.datasets.microbench import QUERY_Q1, microbench_catalog
+from repro.engine.base import ExecutionMode
+from repro.engine.tcudb import TCUDBEngine
+from repro.hardware.gpu import GPUDevice
+from repro.hardware.profiles import RTX_2080
+
+
+def test_fig14_series(print_series, benchmark):
+    result = run_fig14()
+    print_series(result)
+    for point in result.points:
+        assert point.seconds > 1.0  # the newer GPU always wins
+    catalog = microbench_catalog(8192, 32, seed=14)
+    engine = TCUDBEngine(catalog, device=GPUDevice(RTX_2080),
+                         mode=ExecutionMode.ANALYTIC)
+    benchmark(lambda: engine.execute(QUERY_Q1))

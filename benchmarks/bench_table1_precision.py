@@ -1,0 +1,19 @@
+"""Table 1: MAPE of fp16 matmul queries across value ranges and dims."""
+
+import numpy as np
+
+from repro.bench import run_table1
+from repro.hardware.gpu import GPUDevice
+
+
+def test_table1_series(print_series, benchmark):
+    result = run_table1(dims=[2048, 4096, 8192, 16384, 32768], sample=96)
+    print_series(result)
+    for dim in (2048, 8192, 32768):
+        assert result.find(f"0/1 dim={dim}", "TCUDB fp16").seconds == 0.0
+        assert result.find(f"+-2^31 dim={dim}", "TCUDB fp16").seconds < 0.1
+    device = GPUDevice()
+    rng = np.random.default_rng(0)
+    a = rng.integers(-(2**15), 2**15, (96, 4096)).astype(float)
+    b = rng.integers(-(2**15), 2**15, (4096, 96)).astype(float)
+    benchmark(lambda: device.tcu.matmul(a, b))

@@ -1,0 +1,32 @@
+"""Benchmark-suite helpers.
+
+Every module regenerates one table/figure of the paper: it runs the
+experiment once (printing the ours-vs-paper series) and lets
+pytest-benchmark measure a representative engine invocation.  Run with
+``pytest benchmarks/ --benchmark-only -s`` to see the series tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, geometric_mean_ratio
+
+_PRINTED: set[str] = set()
+
+
+def report(result: ExperimentResult) -> None:
+    """Print an experiment's series once per session."""
+    if result.experiment_id in _PRINTED:
+        return
+    _PRINTED.add(result.experiment_id)
+    print()
+    print(result.to_text())
+    ratio = geometric_mean_ratio(result)
+    if ratio is not None:
+        print(f"geometric-mean ours/paper ratio: {ratio:.2f}")
+
+
+@pytest.fixture(scope="session")
+def print_series():
+    return report

@@ -1,0 +1,52 @@
+"""Entity-matching blocking with TCUDB (paper Section 5.4.2).
+
+    python examples/entity_matching.py
+
+Synthesizes the BeerAdvo-RateBeer-shaped dataset (paper Table 2
+cardinalities), runs the blocking query on every attribute on TCUDB,
+YDB and MonetDB, and reports candidate-pair counts and speedups.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import beer_catalog
+from repro.engine.base import ExecutionMode
+from repro.engine.monetdb import MonetDBEngine
+from repro.engine.tcudb import TCUDBEngine
+from repro.engine.ydb import YDBEngine
+from repro.workloads import BEER_ATTRIBUTES, beer_blocking_query
+
+
+def main() -> None:
+    catalog = beer_catalog(seed=7)
+    table_a = catalog.get("table_a")
+    table_b = catalog.get("table_b")
+    print(f"table_a: {table_a.num_rows} rows, "
+          f"table_b: {table_b.num_rows} rows")
+    print(f"{'attribute':<12} {'#distinct':>9} {'pairs':>10} "
+          f"{'TCUDB':>10} {'YDB':>10} {'MonetDB':>10} {'speedup':>8}")
+    engines = {
+        "tcudb": TCUDBEngine(catalog, mode=ExecutionMode.ANALYTIC),
+        "ydb": YDBEngine(catalog, mode=ExecutionMode.ANALYTIC),
+        "monetdb": MonetDBEngine(catalog, mode=ExecutionMode.ANALYTIC),
+    }
+    for attribute in BEER_ATTRIBUTES:
+        sql = beer_blocking_query(attribute)
+        runs = {name: engine.execute(sql) for name, engine in engines.items()}
+        distinct = table_a.stats(attribute).n_distinct
+        speedup = runs["ydb"].seconds / runs["tcudb"].seconds
+        print(
+            f"{attribute:<12} {distinct:>9} {runs['tcudb'].n_rows:>10} "
+            f"{runs['tcudb'].seconds * 1e3:>8.2f}ms "
+            f"{runs['ydb'].seconds * 1e3:>8.2f}ms "
+            f"{runs['monetdb'].seconds * 1e3:>8.2f}ms "
+            f"{speedup:>7.1f}x"
+        )
+    print()
+    print("Blocking on low-cardinality attributes produces the most "
+          "candidate pairs,\nwhich is exactly where the dense TCU join "
+          "shines (up to 288x in the paper).")
+
+
+if __name__ == "__main__":
+    main()

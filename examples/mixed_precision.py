@@ -1,0 +1,57 @@
+"""Adaptive mixed precision in action (paper Sections 4.2.1-4.2.2, Table 1).
+
+    python examples/mixed_precision.py
+
+Runs the same aggregation query over datasets with widening value ranges
+and shows (1) which precision the feasibility test picks, (2) the
+end-to-end cost of each choice, and (3) the actual numeric error of the
+fp16 path versus exact arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.tcudb import TCUDBEngine
+from repro.engine.ydb import YDBEngine
+from repro.storage import Catalog, Table
+
+QUERY = "SELECT SUM(A.Val * B.Val) FROM A, B WHERE A.ID = B.ID;"
+
+
+def build_catalog(value_limit: int, rng) -> Catalog:
+    n, distinct = 2048, 64
+    catalog = Catalog()
+    for name in ("a", "b"):
+        catalog.register(Table.from_dict(name, {
+            "id": rng.integers(0, distinct, n),
+            "val": rng.integers(0, value_limit, n).astype(float),
+        }))
+    return catalog
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    print(f"{'value range':<14} {'precision':>9} {'exact?':>7} "
+          f"{'TCUDB':>10} {'rel. error':>12}")
+    for limit in (2, 8, 128, 2048, 2**15, 2**31):
+        catalog = build_catalog(limit, rng)
+        tcu_run = TCUDBEngine(catalog).execute(QUERY)
+        ydb_run = YDBEngine(catalog).execute(QUERY)
+        tcu_value = tcu_run.require_table().rows()[0][0]
+        exact_value = ydb_run.require_table().rows()[0][0]
+        error = (abs(tcu_value - exact_value) / abs(exact_value)
+                 if exact_value else 0.0)
+        precision = tcu_run.extra.get("precision", "fallback")
+        feasibility = tcu_run.extra["decision"].feasibility
+        exact = feasibility.choice.exact if feasibility.choice else False
+        print(f"[0, {limit:>10}) {precision:>9} {str(exact):>7} "
+              f"{tcu_run.seconds * 1e6:>8.1f}us {error:>11.2e}")
+    print()
+    print("Narrow ranges run exactly on int4/int8; wide ranges use fp16 "
+          "with power-of-two\nscaling and pick up the small rounding "
+          "errors the paper's Table 1 quantifies.")
+
+
+if __name__ == "__main__":
+    main()

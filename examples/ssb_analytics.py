@@ -1,0 +1,49 @@
+"""Star Schema Benchmark analytics on TCUDB (paper Section 5.3).
+
+    python examples/ssb_analytics.py
+
+Generates SSB data, runs all 13 queries on TCUDB/YDB/MonetDB, prints
+per-flight speedups and a sample result.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import ssb_catalog
+from repro.engine.monetdb import MonetDBEngine
+from repro.engine.tcudb import TCUDBEngine
+from repro.engine.ydb import YDBEngine
+from repro.workloads import SSB_QUERIES
+
+
+def main() -> None:
+    catalog = ssb_catalog(scale_factor=1, rows_per_sf=30_000, seed=11)
+    print(f"lineorder rows: {catalog.get('lineorder').num_rows}")
+    tcudb = TCUDBEngine(catalog)
+    ydb = YDBEngine(catalog)
+    monetdb = MonetDBEngine(catalog)
+
+    print(f"{'query':<6} {'rows':>6} {'TCUDB':>10} {'YDB':>10} "
+          f"{'MonetDB':>10} {'vs YDB':>8}  plan")
+    for query_id in sorted(SSB_QUERIES):
+        sql = SSB_QUERIES[query_id]
+        tcu_run = tcudb.execute(sql)
+        ydb_run = ydb.execute(sql)
+        monet_run = monetdb.execute(sql)
+        plan = tcu_run.extra.get("strategy", "?")
+        if tcu_run.extra.get("fallback_reason"):
+            plan = "fallback(cost)"
+        print(
+            f"{query_id:<6} {tcu_run.n_rows:>6} "
+            f"{tcu_run.seconds * 1e3:>8.2f}ms "
+            f"{ydb_run.seconds * 1e3:>8.2f}ms "
+            f"{monet_run.seconds * 1e3:>8.2f}ms "
+            f"{ydb_run.seconds / tcu_run.seconds:>7.2f}x  {plan}"
+        )
+
+    print()
+    print("Q2.1 sample output (revenue by year and brand):")
+    print(tcudb.execute(SSB_QUERIES["Q2.1"]).require_table().pretty(limit=6))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""TCUDB reproduction: a tensor-processor-accelerated analytic query
+engine (Hu, Li, Tseng — SIGMOD 2022) on a simulated GPU substrate.
+
+Public entry points:
+
+* :class:`repro.engine.tcudb.TCUDBEngine` — the TCU-accelerated engine.
+* :class:`repro.engine.ydb.YDBEngine` — the GPU hash-join baseline.
+* :class:`repro.engine.monetdb.MonetDBEngine` — the CPU baseline.
+* :class:`repro.engine.magiq.MAGiQEngine` — the GraphBLAS graph engine.
+* :mod:`repro.datasets` — generators for every workload in the paper.
+* :mod:`repro.bench` — experiment runners for every table and figure.
+"""
+
+__version__ = "1.0.0"

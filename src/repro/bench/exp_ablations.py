@@ -1,0 +1,143 @@
+"""Ablation experiments for the design decisions DESIGN.md calls out.
+
+1. Fused Join+GroupBy+Aggregation vs join-then-aggregate.
+2. The density-threshold plan switch (dense GEMM vs TCU-SpMM vs fallback).
+3. Adaptive mixed precision (int4/int8/fp16 end-to-end cost).
+4. CPU vs GPU-assisted table->matrix transformation.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.datasets.microbench import (
+    QUERY_Q1,
+    QUERY_Q3,
+    microbench_catalog,
+)
+from repro.engine.base import ExecutionMode
+from repro.engine.tcudb import Strategy, TCUDBEngine, TCUDBOptions
+from repro.engine.ydb import YDBEngine
+from repro.hardware.gpu import GPUDevice
+from repro.tensor.precision import Precision
+
+
+def run_ablation_fused_agg(
+    sizes: list[int] | None = None, n_distinct: int = 32, seed: int = 41
+) -> ExperimentResult:
+    """Fused single-matmul Q3 vs 'TCU join, then GPU group-by'.
+
+    The unfused variant pays the Q1 join (pairs materialized) plus the
+    conventional group-by aggregation over the pairs — the structure
+    YDB uses and TCUDB's Lemma-3.1 encoding eliminates.
+    """
+    sizes = sizes or [4096, 8192, 16384, 32768]
+    result = ExperimentResult(
+        "ablation_fused_agg",
+        "Q3: fused TCU Join+GroupBy+Agg vs TCU join + GPU aggregation",
+    )
+    for size in sizes:
+        catalog = microbench_catalog(size, n_distinct, seed)
+        device = GPUDevice()
+        tcu = TCUDBEngine(catalog, device=device,
+                          mode=ExecutionMode.ANALYTIC)
+        fused = tcu.execute(QUERY_Q3)
+        join_only = tcu.execute(QUERY_Q1)
+        pairs = join_only.n_rows
+        groupby_seconds = device.cuda.groupby_seconds(pairs, n_distinct)
+        unfused_seconds = join_only.seconds + groupby_seconds
+        config = f"{size},{n_distinct}"
+        result.add(config, "fused (1 matmul)", fused.seconds)
+        result.add(config, "join + group-by", unfused_seconds)
+        result.find(config, "fused (1 matmul)").normalized = 1.0
+        result.find(config, "join + group-by").normalized = (
+            unfused_seconds / fused.seconds
+        )
+    result.notes.append("normalized column = slowdown of the unfused plan")
+    return result
+
+
+def run_ablation_density_switch(
+    distincts: list[int] | None = None, n_records: int = 4096, seed: int = 42
+) -> ExperimentResult:
+    """Dense vs sparse vs optimizer-chosen plan across matrix densities."""
+    distincts = distincts or [32, 256, 1024, 4096, 16384]
+    result = ExperimentResult(
+        "ablation_density_switch",
+        "Q1 plan choice across input densities (1/#distinct)",
+    )
+    for k in distincts:
+        catalog = microbench_catalog(n_records, k, seed)
+        device = GPUDevice()
+        variants = {
+            "forced dense": TCUDBOptions(force_strategy=Strategy.DENSE),
+            "forced sparse": TCUDBOptions(force_strategy=Strategy.SPARSE),
+            "optimizer": TCUDBOptions(),
+        }
+        for label, options in variants.items():
+            engine = TCUDBEngine(catalog, device=device,
+                                 mode=ExecutionMode.ANALYTIC, options=options)
+            run = engine.execute(QUERY_Q1)
+            note = run.extra.get("strategy", "")
+            if run.extra.get("fallback_reason"):
+                note = "fallback"
+            point = result.add(f"{n_records},{k}", label, run.seconds,
+                               note=note)
+            point.normalized = run.seconds
+    result.notes.append(
+        "normalized column = simulated seconds; the optimizer should track "
+        "the cheaper variant on both sides of the density threshold"
+    )
+    return result
+
+
+def run_ablation_precision(
+    sizes: list[int] | None = None, n_distinct: int = 256, seed: int = 43
+) -> ExperimentResult:
+    """End-to-end cost of forcing each TCU precision on an exact
+    (indicator) workload: compact types move less data and multiply
+    faster, at zero accuracy cost for 0/1 matrices."""
+    sizes = sizes or [4096, 16384]
+    result = ExperimentResult(
+        "ablation_precision", "Q1 end-to-end cost by forced precision"
+    )
+    for size in sizes:
+        catalog = microbench_catalog(size, n_distinct, seed)
+        device = GPUDevice()
+        for precision in (Precision.INT4, Precision.INT8, Precision.FP16):
+            options = TCUDBOptions(force_strategy=Strategy.DENSE,
+                                   force_precision=precision)
+            engine = TCUDBEngine(catalog, device=device,
+                                 mode=ExecutionMode.ANALYTIC, options=options)
+            run = engine.execute(QUERY_Q1)
+            point = result.add(f"{size},{n_distinct}", precision.value,
+                               run.seconds)
+            point.normalized = run.seconds
+    result.notes.append("normalized column = simulated seconds")
+    return result
+
+
+def run_ablation_transform_location(
+    sizes: list[int] | None = None, n_distinct: int = 32, seed: int = 44
+) -> ExperimentResult:
+    """GPU-assisted vs forced-CPU table->matrix transformation
+    (Equations 1 vs 2)."""
+    sizes = sizes or [4096, 32768]
+    result = ExperimentResult(
+        "ablation_transform_location",
+        "Q3 transformation location: optimizer (GPU allowed) vs CPU-only",
+    )
+    for size in sizes:
+        catalog = microbench_catalog(size, n_distinct, seed)
+        device = GPUDevice()
+        for label, options in (
+            ("gpu-allowed", TCUDBOptions()),
+            ("cpu-only", TCUDBOptions(force_cpu_transform=True)),
+        ):
+            engine = TCUDBEngine(catalog, device=device,
+                                 mode=ExecutionMode.ANALYTIC, options=options)
+            run = engine.execute(QUERY_Q3)
+            point = result.add(f"{size},{n_distinct}", label, run.seconds,
+                               breakdown=run.breakdown)
+            point.normalized = run.seconds
+    result.notes.append("normalized column = simulated seconds")
+    return result

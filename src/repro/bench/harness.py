@@ -1,0 +1,145 @@
+"""Experiment harness: runs engines over configurations and formats the
+normalized series the paper's figures report.
+
+Every experiment produces an :class:`ExperimentResult`: a list of
+(configuration, engine) points with simulated seconds, the normalized
+value (paper-style: divided by a designated baseline point), the stage
+breakdown, and — where the paper publishes numbers — the reference value
+for side-by-side comparison in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.timing import TimingBreakdown
+
+
+@dataclass
+class SeriesPoint:
+    """One bar of a paper figure."""
+
+    config: str  # x-axis label, e.g. "4096,32"
+    engine: str  # series label, e.g. "TCUDB"
+    seconds: float  # simulated seconds
+    normalized: float | None = None  # seconds / baseline
+    paper_value: float | None = None  # the published normalized number
+    breakdown: dict[str, float] = field(default_factory=dict)
+    note: str = ""
+
+
+@dataclass
+class ExperimentResult:
+    """All points of one figure/table plus bookkeeping."""
+
+    experiment_id: str  # e.g. "fig7a"
+    title: str
+    points: list[SeriesPoint] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(
+        self,
+        config: str,
+        engine: str,
+        seconds: float,
+        paper_value: float | None = None,
+        breakdown: TimingBreakdown | None = None,
+        note: str = "",
+    ) -> SeriesPoint:
+        point = SeriesPoint(
+            config=config, engine=engine, seconds=seconds,
+            paper_value=paper_value,
+            breakdown=breakdown.stages if breakdown else {},
+            note=note,
+        )
+        self.points.append(point)
+        return point
+
+    def normalize(self, baseline_config: str, baseline_engine: str) -> None:
+        """Divide every point by one baseline point (paper-style)."""
+        baseline = self.find(baseline_config, baseline_engine)
+        if baseline.seconds <= 0:
+            raise ValueError("baseline time must be positive")
+        for point in self.points:
+            point.normalized = point.seconds / baseline.seconds
+
+    def find(self, config: str, engine: str) -> SeriesPoint:
+        for point in self.points:
+            if point.config == config and point.engine == engine:
+                return point
+        raise KeyError(f"no point ({config!r}, {engine!r})")
+
+    def engines(self) -> list[str]:
+        seen: list[str] = []
+        for point in self.points:
+            if point.engine not in seen:
+                seen.append(point.engine)
+        return seen
+
+    def configs(self) -> list[str]:
+        seen: list[str] = []
+        for point in self.points:
+            if point.config not in seen:
+                seen.append(point.config)
+        return seen
+
+    # -- rendering --------------------------------------------------------- #
+
+    def to_text(self) -> str:
+        """Fixed-width table: rows = configs, columns = engines, cells =
+        normalized (paper) or seconds."""
+        engines = self.engines()
+        configs = self.configs()
+        headers = ["config"] + [
+            f"{e} [ours|paper]" for e in engines
+        ]
+        rows: list[list[str]] = []
+        for config in configs:
+            row = [config]
+            for engine in engines:
+                try:
+                    point = self.find(config, engine)
+                except KeyError:
+                    row.append("-")
+                    continue
+                if point.normalized is not None:
+                    cell = f"{point.normalized:.3g}"
+                else:
+                    cell = f"{point.seconds * 1e3:.3g}ms"
+                if point.paper_value is not None:
+                    cell += f" | {point.paper_value:.3g}"
+                if point.note:
+                    cell += f" ({point.note})"
+                row.append(cell)
+            rows.append(row)
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            for row in rows
+        )
+        lines.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+def geometric_mean_ratio(result: ExperimentResult) -> float | None:
+    """Geometric mean of ours/paper across points that have both — the
+    headline fidelity metric EXPERIMENTS.md reports per experiment."""
+    import math
+
+    ratios = [
+        point.normalized / point.paper_value
+        for point in result.points
+        if point.normalized and point.paper_value
+    ]
+    if not ratios:
+        return None
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))

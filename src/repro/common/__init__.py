@@ -1,0 +1,47 @@
+"""Shared infrastructure: errors, timing breakdowns, deterministic RNG."""
+
+from repro.common.errors import (
+    BindError,
+    ConfigError,
+    DeviceMemoryError,
+    ExecutionError,
+    HardwareError,
+    LexError,
+    ParseError,
+    PlanError,
+    PrecisionError,
+    ReproError,
+    SchemaError,
+    SQLError,
+    StorageError,
+    UnknownColumnError,
+    UnknownTableError,
+    UnsupportedQueryError,
+)
+from repro.common.rng import DEFAULT_SEED, derive_rng, make_rng, zipf_codes
+from repro.common.timing import TimingBreakdown, sum_breakdowns
+
+__all__ = [
+    "BindError",
+    "ConfigError",
+    "DEFAULT_SEED",
+    "DeviceMemoryError",
+    "ExecutionError",
+    "HardwareError",
+    "LexError",
+    "ParseError",
+    "PlanError",
+    "PrecisionError",
+    "ReproError",
+    "SchemaError",
+    "SQLError",
+    "StorageError",
+    "TimingBreakdown",
+    "UnknownColumnError",
+    "UnknownTableError",
+    "UnsupportedQueryError",
+    "derive_rng",
+    "make_rng",
+    "sum_breakdowns",
+    "zipf_codes",
+]

@@ -1,0 +1,77 @@
+"""Matrix-multiplication query dataset (Section 5.4.1 / Figure 5).
+
+Two tables A and B with schema (row_num, col_num, val): each record is
+one matrix element, so a ``dim x dim`` dense matrix yields ``dim**2``
+records per table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+# The query of Figure 5: matrix multiplication in SQL.
+MATMUL_QUERY = """
+SELECT A.col_num, B.row_num, SUM(A.val * B.val) as res
+FROM A, B
+WHERE A.row_num = B.col_num
+GROUP BY A.col_num, B.row_num;
+"""
+
+
+def generate_matrix_table(
+    name: str,
+    dim: int,
+    rng,
+    value_low: float = 0.0,
+    value_high: float = 2.0,
+    density: float = 1.0,
+) -> Table:
+    """One matrix as a (row_num, col_num, val) relation."""
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    if not 0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    cells = dim * dim
+    if density < 1.0:
+        n = max(int(cells * density), 1)
+        flat = rng.choice(cells, size=n, replace=False)
+    else:
+        n = cells
+        flat = np.arange(cells)
+    return Table.from_dict(name, {
+        "row_num": flat // dim,
+        "col_num": flat % dim,
+        "val": rng.integers(int(value_low), int(value_high),
+                            size=n).astype(float),
+    })
+
+
+def matmul_catalog(
+    dim: int,
+    seed: int | None = None,
+    value_low: float = 0.0,
+    value_high: float = 2.0,
+    density: float = 1.0,
+) -> Catalog:
+    """Catalog with tables A and B encoding two dim x dim matrices."""
+    rng = make_rng(seed)
+    catalog = Catalog()
+    catalog.register(
+        generate_matrix_table("a", dim, rng, value_low, value_high, density)
+    )
+    catalog.register(
+        generate_matrix_table("b", dim, rng, value_low, value_high, density)
+    )
+    return catalog
+
+
+def dense_matrix_from_table(table: Table, dim: int) -> np.ndarray:
+    """Reference: decode a (row_num, col_num, val) relation to numpy."""
+    dense = np.zeros((dim, dim))
+    data = table.to_dict()
+    dense[data["row_num"].astype(int), data["col_num"].astype(int)] = data["val"]
+    return dense

@@ -1,0 +1,57 @@
+"""Microbenchmark datasets (Section 5.2).
+
+Two tables with schema (ID, Val): ``n_records`` tuples each, join keys
+drawn uniformly from ``n_distinct`` values — the (M, K) configurations of
+Figures 7, 8 and 14.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import make_rng
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+def generate_microbench_tables(
+    n_records: int,
+    n_distinct: int,
+    seed: int | None = None,
+    value_low: int = 0,
+    value_high: int = 100,
+) -> tuple[Table, Table]:
+    """Tables A and B for the sampling queries Q1/Q3/Q4."""
+    if n_records <= 0 or n_distinct <= 0:
+        raise ValueError("n_records and n_distinct must be positive")
+    rng = make_rng(seed)
+    table_a = Table.from_dict("a", {
+        "id": rng.integers(0, n_distinct, size=n_records),
+        "val": rng.integers(value_low, value_high, size=n_records)
+        .astype(float),
+    })
+    table_b = Table.from_dict("b", {
+        "id": rng.integers(0, n_distinct, size=n_records),
+        "val": rng.integers(value_low, value_high // 2 + 1, size=n_records)
+        .astype(float),
+    })
+    return table_a, table_b
+
+
+def microbench_catalog(
+    n_records: int, n_distinct: int, seed: int | None = None
+) -> Catalog:
+    """A catalog pre-loaded with the two microbenchmark tables."""
+    catalog = Catalog()
+    table_a, table_b = generate_microbench_tables(n_records, n_distinct, seed)
+    catalog.register(table_a)
+    catalog.register(table_b)
+    return catalog
+
+
+# The three sampling queries from Section 3 the paper profiles.
+QUERY_Q1 = "SELECT A.Val, B.Val FROM A, B WHERE A.ID = B.ID;"
+QUERY_Q3 = (
+    "SELECT SUM(A.Val) as s, B.Val FROM A, B "
+    "WHERE A.ID = B.ID GROUP BY B.Val;"
+)
+QUERY_Q4 = "SELECT SUM(A.Val * B.Val) FROM A, B WHERE A.ID = B.ID;"
+QUERY_Q5 = "SELECT A.Val, B.Val FROM A, B WHERE A.ID < B.ID;"

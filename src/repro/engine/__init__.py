@@ -1,0 +1,5 @@
+"""Query engines: TCUDB plus the three baselines the paper compares."""
+
+from repro.engine.base import Engine, ExecutionMode, QueryResult
+
+__all__ = ["Engine", "ExecutionMode", "QueryResult"]

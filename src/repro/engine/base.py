@@ -1,0 +1,68 @@
+"""Engine-layer foundations.
+
+* :class:`ExecutionMode` — REAL executes full numerics; ANALYTIC computes
+  exact cardinalities and masks (cheap, vectorized) but skips materializing
+  join outputs, so paper-scale configurations run in milliseconds while
+  charging identical simulated time.
+* :class:`QueryResult` — result rows + the per-stage simulated-time
+  breakdown each figure of the paper stacks.
+* :class:`Engine` — the common ``execute(sql)`` facade.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+from repro.common.timing import TimingBreakdown
+from repro.sql.binder import BoundQuery, bind
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+class ExecutionMode(enum.Enum):
+    REAL = "real"  # full numerics; results materialized
+    ANALYTIC = "analytic"  # exact cardinalities, no result materialization
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query execution."""
+
+    engine: str
+    n_rows: int
+    breakdown: TimingBreakdown
+    table: Table | None = None
+    plan_description: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Total simulated execution time."""
+        return self.breakdown.total
+
+    def require_table(self) -> Table:
+        if self.table is None:
+            raise ReproError(
+                "query ran in ANALYTIC mode; no result table materialized"
+            )
+        return self.table
+
+
+class Engine:
+    """Common facade: parse, bind and run a query against a catalog."""
+
+    name = "engine"
+
+    def __init__(self, catalog: Catalog, mode: ExecutionMode = ExecutionMode.REAL):
+        self.catalog = catalog
+        self.mode = mode
+
+    def execute(self, sql: str, params: dict | None = None) -> QueryResult:
+        bound = bind(parse(sql), self.catalog, params)
+        return self.execute_bound(bound)
+
+    def execute_bound(self, bound: BoundQuery) -> QueryResult:
+        raise NotImplementedError

@@ -1,0 +1,120 @@
+"""Cost models for the baseline (non-TCU) engines.
+
+The same relational executor runs YDB-style plans on the simulated GPU
+and MonetDB-style plans on the CPU; only the cost provider differs.  Each
+method returns ``(stage, seconds)`` charges so the executor can build the
+stacked breakdowns the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from repro.common.timing import (
+    STAGE_AGGREGATION,
+    STAGE_CPU,
+    STAGE_GROUPBY,
+    STAGE_JOIN,
+    STAGE_MEMCPY,
+    STAGE_OTHER,
+)
+from repro.hardware.gpu import GPUDevice
+from repro.hardware.profiles import HostProfile
+
+Charge = tuple[str, float]
+
+
+class GPUCostModel:
+    """YDB: operators as CUDA kernels, data over PCIe (Section 2.2)."""
+
+    engine_name = "YDB"
+
+    def __init__(self, device: GPUDevice):
+        self.device = device
+
+    def load_table(self, nbytes: float) -> list[Charge]:
+        return [(STAGE_MEMCPY, self.device.h2d_seconds(nbytes))]
+
+    def scan(self, nrows: int, npasses: int = 1) -> list[Charge]:
+        return [(STAGE_OTHER, self.device.cuda.scan_seconds(nrows) * npasses)]
+
+    def hash_join(self, n_left: int, n_right: int, pairs: int) -> list[Charge]:
+        seconds = (
+            self.device.cuda.hash_build_seconds(n_right)
+            + self.device.cuda.hash_probe_seconds(n_left)
+            + self.device.cuda.join_materialize_seconds(pairs)
+        )
+        return [(STAGE_JOIN, seconds)]
+
+    def nonequi_join(self, n_left: int, n_right: int, pairs: int) -> list[Charge]:
+        # Sort-merge style: sort both sides, then emit ranges.
+        sort = self.device.cuda.scan_seconds(n_left + n_right) * 4
+        emit = self.device.cuda.join_materialize_seconds(pairs)
+        return [(STAGE_JOIN, sort + emit)]
+
+    def accumulate_join(self, nrows: int, pairs: int) -> list[Charge]:
+        return [(STAGE_JOIN, self.device.cuda.accumulate_join_seconds(nrows, pairs))]
+
+    def groupby(self, n_input: int, n_groups: int, grouped: bool) -> list[Charge]:
+        stage = STAGE_GROUPBY if grouped else STAGE_AGGREGATION
+        return [(stage, self.device.cuda.groupby_seconds(n_input, n_groups))]
+
+    def project(self, nrows: int, nitems: int) -> list[Charge]:
+        return [(STAGE_OTHER, self.device.cuda.elementwise_seconds(nrows, nitems))]
+
+    def sort(self, nrows: int) -> list[Charge]:
+        return [(STAGE_OTHER, self.device.cuda.scan_seconds(nrows) * 4)]
+
+    def result_out(self, nrows: int, ncols: int) -> list[Charge]:
+        nbytes = nrows * ncols * 8.0
+        return [(STAGE_MEMCPY, self.device.d2h_seconds(nbytes, overlap=True))]
+
+
+class CPUCostModel:
+    """MonetDB: the same plan on host cores; one aggregate stage."""
+
+    engine_name = "MonetDB"
+
+    def __init__(self, host: HostProfile):
+        self.host = host
+
+    def load_table(self, nbytes: float) -> list[Charge]:
+        # Tables are already in host memory; charge one streaming pass.
+        return [(STAGE_CPU, nbytes / (self.host.cores * 8e9))]
+
+    def scan(self, nrows: int, npasses: int = 1) -> list[Charge]:
+        return [(STAGE_CPU, nrows * self.host.scan_elem_s * npasses)]
+
+    def hash_join(self, n_left: int, n_right: int, pairs: int) -> list[Charge]:
+        seconds = (
+            (n_left + n_right) * self.host.hash_row_s * 0.5
+            + pairs * self.host.join_pair_s
+        )
+        return [(STAGE_CPU, seconds)]
+
+    def nonequi_join(self, n_left: int, n_right: int, pairs: int) -> list[Charge]:
+        import math
+
+        total = n_left + n_right
+        sort = total * self.host.scan_elem_s * max(math.log2(max(total, 2)), 1.0)
+        return [(STAGE_CPU, sort + pairs * self.host.join_pair_s)]
+
+    def accumulate_join(self, nrows: int, pairs: int) -> list[Charge]:
+        seconds = (
+            nrows * self.host.hash_row_s * 0.5 + pairs * self.host.agg_pair_s
+        )
+        return [(STAGE_CPU, seconds)]
+
+    def groupby(self, n_input: int, n_groups: int, grouped: bool) -> list[Charge]:
+        seconds = n_input * self.host.agg_pair_s + n_groups * self.host.scan_elem_s
+        return [(STAGE_CPU, seconds)]
+
+    def project(self, nrows: int, nitems: int) -> list[Charge]:
+        return [(STAGE_CPU, nrows * nitems * self.host.scan_elem_s)]
+
+    def sort(self, nrows: int) -> list[Charge]:
+        import math
+
+        factor = max(math.log2(max(nrows, 2)), 1.0)
+        return [(STAGE_CPU, nrows * self.host.scan_elem_s * factor)]
+
+    def result_out(self, nrows: int, ncols: int) -> list[Charge]:
+        return [(STAGE_CPU, nrows * ncols * self.host.scan_elem_s)]

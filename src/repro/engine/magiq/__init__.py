@@ -1,0 +1,20 @@
+"""MAGiQ-style graph query engine over GraphBLAS kernels (Figure 13)."""
+
+from repro.engine.magiq.engine import MAGiQEngine, PageRankOutput
+from repro.engine.magiq.graphblas import (
+    GRB_CALL_OVERHEAD_S,
+    GRB_EDGE_S,
+    GRB_NODE_S,
+    GraphBLAS,
+    GrBResult,
+)
+
+__all__ = [
+    "GRB_CALL_OVERHEAD_S",
+    "GRB_EDGE_S",
+    "GRB_NODE_S",
+    "GraphBLAS",
+    "GrBResult",
+    "MAGiQEngine",
+    "PageRankOutput",
+]

@@ -1,0 +1,35 @@
+"""MonetDB: the baseline CPU columnar engine.
+
+Per the paper's methodology (Section 5.1), only physical-plan execution
+time is modeled ("--timer=performance"), not client/parse overheads.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import ExecutionMode
+from repro.engine.cost_models import CPUCostModel
+from repro.engine.relational import RelationalExecutor
+from repro.hardware.profiles import I7_7700K, HostProfile
+from repro.storage.catalog import Catalog
+
+
+class MonetDBEngine(RelationalExecutor):
+    """CPU columnar engine used as the non-GPU reference design."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        host: HostProfile | None = None,
+        mode: ExecutionMode = ExecutionMode.REAL,
+        materialize_limit: int = 4_000_000,
+    ):
+        self.host = host if host is not None else I7_7700K
+        super().__init__(
+            catalog,
+            CPUCostModel(self.host),
+            mode=mode,
+            materialize_limit=materialize_limit,
+        )
+
+
+__all__ = ["MonetDBEngine"]

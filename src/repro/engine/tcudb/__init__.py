@@ -1,0 +1,86 @@
+"""TCUDB: the paper's primary contribution.
+
+Query analyzer (pattern matching), query optimizer (Figure 6), code
+generator (CUDA C emission) and program driver (TCU operator library).
+"""
+
+from repro.engine.tcudb.codegen import GeneratedProgram, generate_program
+from repro.engine.tcudb.cost import (
+    OperatorGeometry,
+    PlanCost,
+    Strategy,
+    estimate_blocked,
+    estimate_cpu_baseline,
+    estimate_dense,
+    estimate_gpu_baseline,
+    estimate_sparse,
+)
+from repro.engine.tcudb.driver import (
+    CompositeKey,
+    PreparedAggSide,
+    PreparedJoin,
+    TCUDriver,
+)
+from repro.engine.tcudb.engine import TCUDBEngine, TCUDBOptions
+from repro.engine.tcudb.feasibility import (
+    FeasibilityReport,
+    run_feasibility_test,
+)
+from repro.engine.tcudb.optimizer import OptimizerDecision, TCUOptimizer
+from repro.engine.tcudb.patterns import (
+    AggregateSpec,
+    MatchFailure,
+    PatternKind,
+    TCUPattern,
+    match_pattern,
+)
+from repro.engine.tcudb.transform import (
+    KeyDomain,
+    SideMatrix,
+    TransformCost,
+    best_transform_cost,
+    comparison_matrix,
+    cpu_transform_cost,
+    gpu_transform_cost,
+    grouped_matrix,
+    tuple_matrix,
+    union_key_domain,
+)
+
+__all__ = [
+    "AggregateSpec",
+    "CompositeKey",
+    "FeasibilityReport",
+    "GeneratedProgram",
+    "KeyDomain",
+    "MatchFailure",
+    "OperatorGeometry",
+    "OptimizerDecision",
+    "PatternKind",
+    "PlanCost",
+    "PreparedAggSide",
+    "PreparedJoin",
+    "SideMatrix",
+    "Strategy",
+    "TCUDBEngine",
+    "TCUDBOptions",
+    "TCUDriver",
+    "TCUOptimizer",
+    "TCUPattern",
+    "TransformCost",
+    "best_transform_cost",
+    "comparison_matrix",
+    "cpu_transform_cost",
+    "estimate_blocked",
+    "estimate_cpu_baseline",
+    "estimate_dense",
+    "estimate_gpu_baseline",
+    "estimate_sparse",
+    "generate_program",
+    "gpu_transform_cost",
+    "grouped_matrix",
+    "match_pattern",
+    "run_feasibility_test",
+    "tuple_matrix",
+    "union_key_domain",
+]

@@ -1,0 +1,349 @@
+"""TCU-accelerated query pattern matching (Section 3).
+
+The analyzer inspects a bound query and decides whether it falls into one
+of the matmul-encodable patterns:
+
+* ``JOIN_2WAY``  — Q1/Q5-style: two tables, one (equi or non-equi) join
+  predicate, projection of plain columns, no aggregates.
+* ``JOIN_MULTIWAY`` — Q2-style: a chain of equi joins, projection only.
+* ``JOIN_AGG``  — Q3/Q4/Figure-5/SSB/PageRank-style: equi joins arranged
+  as a star around a fact table, SUM/COUNT/AVG aggregates whose arguments
+  decompose into per-table multiplicative factors, optional GROUP BY.
+
+Anything else (MIN/MAX, additive aggregate arguments, disconnected joins,
+OR-predicates...) is beyond the TCU platform's expressiveness (Section
+3.4) and falls back to the conventional CPU/GPU engines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sql.ast_nodes import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    Literal,
+)
+from repro.sql.binder import BoundColumn, BoundQuery, JoinPredicate
+
+
+class PatternKind(enum.Enum):
+    JOIN_2WAY = "join_2way"
+    JOIN_MULTIWAY = "join_multiway"
+    JOIN_AGG = "join_agg"
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One multiplicative factor of an aggregate argument."""
+
+    column: BoundColumn
+    power: int  # +1 for multiply, -1 for divide
+
+
+@dataclass
+class AggregateSpec:
+    """SUM/COUNT/AVG decomposed as constant * product of column factors."""
+
+    func: str  # sum | count | avg
+    constant: float
+    factors: list[Factor]
+
+    def factors_for(self, binding: str) -> list[Factor]:
+        return [f for f in self.factors if f.column.binding == binding]
+
+    @property
+    def bindings(self) -> set[str]:
+        return {f.column.binding for f in self.factors}
+
+
+# Output expression tree over aggregate results -------------------------------- #
+
+
+@dataclass(frozen=True)
+class AggRef:
+    """Leaf referring to the i-th AggregateSpec's per-group result."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class GroupRef:
+    """Leaf referring to a group-by column's value."""
+
+    column: BoundColumn
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    value: float
+
+
+@dataclass(frozen=True)
+class OutputOp:
+    op: str
+    left: "OutputNode"
+    right: "OutputNode"
+
+
+OutputNode = AggRef | GroupRef | ConstRef | OutputOp
+
+
+@dataclass
+class OutputItem:
+    name: str
+    node: OutputNode
+
+
+@dataclass
+class TCUPattern:
+    """A query recognized as TCU-executable."""
+
+    kind: PatternKind
+    bound: BoundQuery
+    joins: list[JoinPredicate]
+    fact: str | None = None  # star center binding (JOIN_AGG)
+    aggregates: list[AggregateSpec] = field(default_factory=list)
+    outputs: list[OutputItem] = field(default_factory=list)
+    group_by: list[BoundColumn] = field(default_factory=list)
+    projected: list[BoundColumn] = field(default_factory=list)
+
+
+@dataclass
+class MatchFailure:
+    """Why a query was rejected for TCU execution."""
+
+    reason: str
+
+
+def match_pattern(bound: BoundQuery) -> TCUPattern | MatchFailure:
+    """Classify a bound query into a TCU pattern or explain the rejection."""
+    if len(bound.tables) < 2:
+        return MatchFailure("single-table query: nothing to encode as a join")
+    if not bound.join_predicates:
+        return MatchFailure("no join predicate between the tables")
+    if bound.has_aggregates:
+        return _match_join_agg(bound)
+    return _match_join_project(bound)
+
+
+# -- join-only patterns ---------------------------------------------------------- #
+
+
+def constant_value(expr: Expr) -> float | None:
+    """Fold a literal-only expression to a constant (None if impossible)."""
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            return None
+        return float(expr.value)
+    if isinstance(expr, BinaryOp):
+        left = constant_value(expr.left)
+        right = constant_value(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right if right != 0 else None
+        if expr.op == "%":
+            return left % right if right != 0 else None
+    return None
+
+
+def _match_join_project(bound: BoundQuery) -> TCUPattern | MatchFailure:
+    if bound.group_by:
+        return MatchFailure("GROUP BY without aggregates is not supported")
+    projected: list[BoundColumn | float] = []
+    for item in bound.select_items:
+        if isinstance(item.expr, ColumnRef):
+            projected.append(bound.resolve(item.expr))
+            continue
+        constant = constant_value(item.expr)
+        if constant is None:
+            return MatchFailure(
+                f"projection {item.expr} is not a plain column or constant; "
+                "TCU join patterns project columns only"
+            )
+        projected.append(constant)
+    joins = list(bound.join_predicates)
+    if len(bound.tables) == 2:
+        if len(joins) != 1:
+            return MatchFailure(
+                "two-way joins must have exactly one join predicate"
+            )
+        return TCUPattern(
+            kind=PatternKind.JOIN_2WAY, bound=bound, joins=joins,
+            projected=projected,
+        )
+    # Multi-way: the planner's left-deep order must chain all tables with
+    # equi predicates (Section 3.2 assumes the conventional join order).
+    non_equi = [j for j in joins if not j.is_equi]
+    if non_equi:
+        return MatchFailure("multi-way non-equi joins are not supported")
+    if len(joins) != len(bound.tables) - 1:
+        return MatchFailure(
+            "multi-way join must form a tree (n-1 predicates for n tables)"
+        )
+    return TCUPattern(
+        kind=PatternKind.JOIN_MULTIWAY, bound=bound, joins=joins,
+        projected=projected,
+    )
+
+
+# -- aggregation patterns ----------------------------------------------------------- #
+
+
+def _match_join_agg(bound: BoundQuery) -> TCUPattern | MatchFailure:
+    joins = list(bound.join_predicates)
+    non_equi = [j for j in joins if not j.is_equi]
+    if non_equi:
+        return MatchFailure("aggregation over non-equi joins is not supported")
+    fact = _find_star_center(bound, joins)
+    if fact is None:
+        return MatchFailure(
+            "join graph is not a star/chain reducible to one fact table"
+        )
+    aggregates: list[AggregateSpec] = []
+    outputs: list[OutputItem] = []
+    group_keys = {c.key for c in bound.group_by}
+    for item in bound.select_items:
+        node = _build_output_node(item.expr, bound, aggregates, group_keys)
+        if isinstance(node, MatchFailure):
+            return node
+        outputs.append(OutputItem(name=item.output_name, node=node))
+    if not aggregates:
+        return MatchFailure("no supported aggregate in the select list")
+    return TCUPattern(
+        kind=PatternKind.JOIN_AGG,
+        bound=bound,
+        joins=joins,
+        fact=fact,
+        aggregates=aggregates,
+        outputs=outputs,
+        group_by=list(bound.group_by),
+    )
+
+
+def _find_star_center(
+    bound: BoundQuery, joins: list[JoinPredicate]
+) -> str | None:
+    """A binding that participates in every join predicate."""
+    if len(joins) != len(bound.tables) - 1:
+        return None
+    candidates = {t.binding for t in bound.tables}
+    for join in joins:
+        candidates &= {join.left.binding, join.right.binding}
+    if candidates:
+        # Prefer the first FROM table if it qualifies (paper's join order).
+        first = bound.tables[0].binding
+        return first if first in candidates else sorted(candidates)[0]
+    return None
+
+
+def _build_output_node(
+    expr: Expr,
+    bound: BoundQuery,
+    aggregates: list[AggregateSpec],
+    group_keys: set[str],
+) -> OutputNode | MatchFailure:
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            return MatchFailure("string literals in aggregate outputs")
+        return ConstRef(float(expr.value))
+    if isinstance(expr, ColumnRef):
+        column = bound.resolve(expr)
+        if column.key not in group_keys:
+            return MatchFailure(
+                f"column {column.key} in SELECT is not a GROUP BY key"
+            )
+        return GroupRef(column)
+    if isinstance(expr, AggregateCall):
+        # SUM is linear: SUM(x +- y) rewrites to SUM(x) +- SUM(y), which
+        # lets additive arguments (e.g. SSB's lo_revenue - lo_supplycost)
+        # run as two matmuls instead of falling back.
+        if (expr.func == "sum" and isinstance(expr.argument, BinaryOp)
+                and expr.argument.op in ("+", "-")):
+            left = _build_output_node(
+                AggregateCall(func="sum", argument=expr.argument.left),
+                bound, aggregates, group_keys,
+            )
+            if isinstance(left, MatchFailure):
+                return left
+            right = _build_output_node(
+                AggregateCall(func="sum", argument=expr.argument.right),
+                bound, aggregates, group_keys,
+            )
+            if isinstance(right, MatchFailure):
+                return right
+            return OutputOp(op=expr.argument.op, left=left, right=right)
+        spec = _decompose_aggregate(expr, bound)
+        if isinstance(spec, MatchFailure):
+            return spec
+        aggregates.append(spec)
+        return AggRef(len(aggregates) - 1)
+    if isinstance(expr, BinaryOp):
+        left = _build_output_node(expr.left, bound, aggregates, group_keys)
+        if isinstance(left, MatchFailure):
+            return left
+        right = _build_output_node(expr.right, bound, aggregates, group_keys)
+        if isinstance(right, MatchFailure):
+            return right
+        return OutputOp(op=expr.op, left=left, right=right)
+    return MatchFailure(f"unsupported select expression {expr}")
+
+
+def _decompose_aggregate(
+    call: AggregateCall, bound: BoundQuery
+) -> AggregateSpec | MatchFailure:
+    if call.func in ("min", "max"):
+        # Matrix multiply-accumulate cannot express MIN/MAX (Section 3.4).
+        return MatchFailure(f"{call.func.upper()} is beyond TCU expressiveness")
+    if call.func not in ("sum", "count", "avg"):
+        return MatchFailure(f"unsupported aggregate {call.func!r}")
+    if call.argument is None:  # COUNT(*)
+        return AggregateSpec(func="count", constant=1.0, factors=[])
+    decomposed = _decompose_product(call.argument, bound)
+    if decomposed is None:
+        return MatchFailure(
+            f"aggregate argument {call.argument} is not a product of "
+            "column factors (additive arguments are beyond TCU patterns)"
+        )
+    constant, factors = decomposed
+    if call.func == "count":
+        return AggregateSpec(func="count", constant=1.0, factors=[])
+    return AggregateSpec(func=call.func, constant=constant, factors=factors)
+
+
+def _decompose_product(
+    expr: Expr, bound: BoundQuery, power: int = 1
+) -> tuple[float, list[Factor]] | None:
+    """Flatten an expression into (constant, [column^power factors])."""
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            return None
+        value = float(expr.value)
+        if value == 0 and power < 0:
+            return None
+        return (value**power if power > 0 else value**power), []
+    if isinstance(expr, ColumnRef):
+        return 1.0, [Factor(column=bound.resolve(expr), power=power)]
+    if isinstance(expr, BinaryOp):
+        if expr.op == "*":
+            left = _decompose_product(expr.left, bound, power)
+            right = _decompose_product(expr.right, bound, power)
+        elif expr.op == "/":
+            left = _decompose_product(expr.left, bound, power)
+            right = _decompose_product(expr.right, bound, -power)
+        else:
+            return None
+        if left is None or right is None:
+            return None
+        return left[0] * right[0], left[1] + right[1]
+    return None

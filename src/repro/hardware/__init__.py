@@ -1,0 +1,36 @@
+"""Simulated GPU substrate: profiles, memory, PCIe, CUDA cores, TCUs."""
+
+from repro.hardware.calibration import CalibrationReport, run_calibration
+from repro.hardware.cuda_cores import CudaCores
+from repro.hardware.gpu import GPUDevice
+from repro.hardware.memory import Allocation, DeviceMemory
+from repro.hardware.pcie import PCIeBus
+from repro.hardware.profiles import (
+    I7_7700K,
+    PROFILES,
+    RTX_2080,
+    RTX_3090,
+    DeviceProfile,
+    HostProfile,
+    get_device_profile,
+)
+from repro.hardware.tcu import WMMA_TILE, TensorCoreUnit
+
+__all__ = [
+    "Allocation",
+    "CalibrationReport",
+    "CudaCores",
+    "DeviceMemory",
+    "DeviceProfile",
+    "GPUDevice",
+    "HostProfile",
+    "I7_7700K",
+    "PCIeBus",
+    "PROFILES",
+    "RTX_2080",
+    "RTX_3090",
+    "TensorCoreUnit",
+    "WMMA_TILE",
+    "get_device_profile",
+    "run_calibration",
+]

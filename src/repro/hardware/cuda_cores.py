@@ -1,0 +1,112 @@
+"""Simulated conventional CUDA cores (vector units).
+
+YDB-style operators (scan, hash build/probe, pair materialization,
+group-by aggregation, gather/scatter) run here.  Each cost helper charges
+the per-element constants from the device profile plus a kernel launch.
+Dense GEMM on CUDA cores (for Figure 3's comparison and for the baseline
+sparse-multiply plans) runs at the profile's vector-unit TFLOPS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.precision import Precision
+
+
+class CudaCores:
+    """Timing model for the vector-processing units of a simulated GPU."""
+
+    def __init__(self, profile):
+        self._profile = profile
+
+    def _launch(self) -> float:
+        return self._profile.kernel_launch_s
+
+    # -- GEMM on vector units (no tensor cores) ------------------------- #
+
+    def matmul_seconds(
+        self, m: int, n: int, k: int, precision: Precision = Precision.FP32,
+        efficiency: float = 1.0,
+    ) -> float:
+        """Dense GEMM on CUDA cores at the mixed-precision peak."""
+        flops = 2.0 * m * n * k
+        peak = self._profile.cuda_tflops * 1e12
+        return self._launch() + flops / (peak * max(efficiency, 1e-6))
+
+    def spmm_seconds(self, flops: float, efficiency: float = 0.08) -> float:
+        """Sparse matmul on CUDA cores: irregular access, low efficiency."""
+        peak = self._profile.cuda_tflops * 1e12
+        return self._launch() + flops / (peak * max(efficiency, 1e-6))
+
+    # -- Relational operator kernels ------------------------------------ #
+
+    def scan_seconds(self, nrows: int) -> float:
+        """Columnar scan/filter pass over ``nrows``."""
+        return self._launch() + nrows * self._profile.gather_elem_s
+
+    def hash_build_seconds(self, nrows: int) -> float:
+        return self._launch() + nrows * self._profile.hash_row_s * 0.5
+
+    def hash_probe_seconds(self, nrows: int) -> float:
+        return self._launch() + nrows * self._profile.hash_row_s * 0.5
+
+    def join_materialize_seconds(self, npairs: int) -> float:
+        """Write out ``npairs`` matching tuples from a hash join."""
+        return self._launch() + npairs * self._profile.join_pair_s
+
+    def groupby_seconds(self, npairs: int, ngroups: int) -> float:
+        """Hash-based group-by aggregation over ``npairs`` inputs."""
+        return (
+            self._launch()
+            + npairs * self._profile.agg_pair_s
+            + ngroups * self._profile.gather_elem_s
+        )
+
+    def accumulate_join_seconds(self, nrows: int, npairs: int) -> float:
+        """Fused probe+accumulate path used for matmul-shaped queries.
+
+        YDB evaluates Figure 5's query by probing each fact row and
+        accumulating ``val * val`` products directly into the result grid;
+        per-pair work is a fused multiply-add rather than tuple
+        materialization, hence the much smaller per-pair constant.
+        """
+        return (
+            self._launch()
+            + nrows * self._profile.hash_row_s
+            + npairs * self._profile.accum_pair_s * 3.0
+        )
+
+    def gather_seconds(self, nelems: int) -> float:
+        """Random-access gather/scatter of ``nelems`` elements."""
+        return self._launch() + nelems * self._profile.gather_elem_s
+
+    def fill_matrix_seconds(self, nelems: int) -> float:
+        """Table->matrix scatter on the GPU (atomic conflicts included)."""
+        return self._launch() + nelems * self._profile.fill_elem_s
+
+    def zero_init_seconds(self, nbytes: float) -> float:
+        """memset of a device buffer, bandwidth-bound."""
+        return self._launch() + nbytes / self._profile.memory_bandwidth
+
+    def nonzero_seconds(self, ncells: int, npairs: int) -> float:
+        """CUDA nonzero(): classic three-pass stream compaction (mask,
+        prefix-sum, compact) over fp16 cells, plus writing the hit
+        coordinates — all device-memory-bandwidth bound."""
+        scan = ncells * 2.0 * 3.0 / self._profile.memory_bandwidth
+        compact = npairs * 8.0 / self._profile.memory_bandwidth
+        return self._launch() + scan + compact
+
+    def elementwise_seconds(self, nelems: int, passes: int = 1) -> float:
+        """Map-style arithmetic kernel, bandwidth-bound at 4 B/element."""
+        nbytes = nelems * 4.0 * passes
+        return self._launch() + nbytes / self._profile.memory_bandwidth
+
+    # -- Numerics -------------------------------------------------------- #
+
+    @staticmethod
+    def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """CUDA-core GEMM numerics: fp32 inputs, fp32 accumulate."""
+        return (
+            np.asarray(a, dtype=np.float32) @ np.asarray(b, dtype=np.float32)
+        ).astype(np.float64)

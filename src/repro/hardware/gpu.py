@@ -1,0 +1,50 @@
+"""The simulated GPU device: memory + PCIe + CUDA cores + tensor cores.
+
+:class:`GPUDevice` is the single handle engines hold.  All timing helpers
+return simulated seconds; callers accumulate them into
+:class:`~repro.common.timing.TimingBreakdown` stages.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cuda_cores import CudaCores
+from repro.hardware.memory import DeviceMemory
+from repro.hardware.pcie import PCIeBus
+from repro.hardware.profiles import RTX_3090, DeviceProfile
+from repro.hardware.tcu import TensorCoreUnit
+
+
+class GPUDevice:
+    """A simulated GPU assembled from a :class:`DeviceProfile`."""
+
+    def __init__(self, profile: DeviceProfile | None = None):
+        self.profile = profile if profile is not None else RTX_3090
+        self.memory = DeviceMemory(capacity=self.profile.memory_bytes)
+        self.pcie = PCIeBus(bandwidth=self.profile.pcie_bandwidth)
+        self.tcu = TensorCoreUnit(self.profile)
+        self.cuda = CudaCores(self.profile)
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # Convenience wrappers so operators read naturally. ------------------ #
+
+    def h2d_seconds(self, nbytes: float, overlap: bool = False) -> float:
+        factor = self.profile.transfer_overlap if overlap else 1.0
+        return self.pcie.h2d_seconds(nbytes, overlap=factor)
+
+    def d2h_seconds(self, nbytes: float, overlap: bool = False) -> float:
+        factor = self.profile.transfer_overlap if overlap else 1.0
+        return self.pcie.d2h_seconds(nbytes, overlap=factor)
+
+    def reset(self) -> None:
+        """Release all device memory and clear transfer counters."""
+        self.memory.reset()
+        self.pcie.reset_counters()
+
+    def __repr__(self) -> str:
+        return (
+            f"GPUDevice({self.name}, {self.profile.tensor_cores} TCs, "
+            f"{self.profile.memory_bytes / 1024**3:.0f} GB)"
+        )

@@ -1,0 +1,37 @@
+"""Simulated PCIe interconnect between host and device.
+
+All host<->device traffic in the paper's cost model goes through Equation
+(1)/(2): latency = bytes / BandwidthGPU/host.  Large transfers driven by
+multi-stream pipelines (MSplitGEMM, result write-back) overlap with
+compute, which we model with the profile's ``transfer_overlap`` divisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PCIeBus:
+    """Charges transfer time and keeps simple traffic counters."""
+
+    bandwidth: float  # bytes/second
+    latency_s: float = 5e-6  # fixed DMA setup latency per transfer
+    bytes_h2d: int = field(default=0, init=False)
+    bytes_d2h: int = field(default=0, init=False)
+
+    def h2d_seconds(self, nbytes: float, overlap: float = 1.0) -> float:
+        """Host-to-device transfer cost (``overlap`` > 1 for pipelining)."""
+        nbytes = max(float(nbytes), 0.0)
+        self.bytes_h2d += int(nbytes)
+        return self.latency_s + nbytes / (self.bandwidth * max(overlap, 1.0))
+
+    def d2h_seconds(self, nbytes: float, overlap: float = 1.0) -> float:
+        """Device-to-host transfer cost."""
+        nbytes = max(float(nbytes), 0.0)
+        self.bytes_d2h += int(nbytes)
+        return self.latency_s + nbytes / (self.bandwidth * max(overlap, 1.0))
+
+    def reset_counters(self) -> None:
+        self.bytes_h2d = 0
+        self.bytes_d2h = 0

@@ -1,0 +1,137 @@
+"""Simulated Tensor Core Unit.
+
+Two concerns live here:
+
+* **Timing** — a WMMA/cuBLAS GEMM of an (m x k) by (k x n) product costs
+  ``2 m n k`` flops at the profile's peak TCU rate for the chosen
+  precision, plus a kernel launch (paper Equation 3).
+
+* **Numerics** — tensor cores are low-precision: fp16 inputs with fp32
+  accumulation, or int8/int4 inputs with int32 accumulation.  We emulate
+  this bit-accurately with numpy: casting operands to IEEE binary16
+  reproduces the exact rounding real TCUs see, and accumulating in
+  float32 reproduces the accumulator rounding that appears once partial
+  sums exceed 2**24.  This is what regenerates the paper's Table 1 MAPE
+  behaviour (zeros for 0/1 matrices, tiny errors growing with the value
+  range and reduction length).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import PrecisionError
+from repro.tensor.precision import (
+    FP16_MAX,
+    Precision,
+    fp16_scale_factor,
+)
+
+# WMMA fragment edge: tensor cores consume 16x16x16 tiles.
+WMMA_TILE = 16
+
+
+class TensorCoreUnit:
+    """Timing + numeric emulation of a GPU's tensor cores."""
+
+    def __init__(self, profile):
+        self._profile = profile
+
+    # ------------------------------------------------------------------ #
+    # Timing
+    # ------------------------------------------------------------------ #
+
+    def matmul_seconds(
+        self, m: int, n: int, k: int, precision: Precision = Precision.FP16,
+        efficiency: float = 1.0,
+    ) -> float:
+        """Dense GEMM latency: 2mnk flops at the peak rate (Equation 3)."""
+        if min(m, n, k) < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        flops = 2.0 * m * n * k
+        peak = self._profile.tcu_tflops(precision) * 1e12
+        return self._profile.kernel_launch_s + flops / (peak * max(efficiency, 1e-6))
+
+    def spmm_seconds(
+        self, tile_pairs: int, precision: Precision = Precision.FP16,
+        efficiency: float = 0.25,
+    ) -> float:
+        """TCU-SpMM latency: only non-empty 16^3 tile products are issued.
+
+        ``tile_pairs`` counts (A-tile, B-tile) MMA issues after skipping
+        all-zero tiles (Section 4.2.4).  Sparse tile streams run at a
+        fraction of peak because operand fetches are irregular.
+        """
+        flops = 2.0 * tile_pairs * WMMA_TILE**3
+        peak = self._profile.tcu_tflops(precision) * 1e12
+        return self._profile.kernel_launch_s + flops / (peak * max(efficiency, 1e-6))
+
+    # ------------------------------------------------------------------ #
+    # Numerics
+    # ------------------------------------------------------------------ #
+
+    def matmul(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        precision: Precision = Precision.FP16,
+    ) -> np.ndarray:
+        """Numerically emulated tensor-core product of ``a @ b``.
+
+        Returns float64 for fp16 inputs (values carry fp16+fp32 rounding)
+        and int64 for integer precisions (bit-exact while in range).
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
+        if precision == Precision.FP16:
+            return self._matmul_fp16(a, b)
+        if precision in (Precision.INT8, Precision.INT4):
+            return self._matmul_int(a, b, precision)
+        raise PrecisionError(f"TCUs cannot execute precision {precision}")
+
+    def _matmul_fp16(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # Values beyond fp16's finite range are scaled down by a lossless
+        # power of two first (the optimizer's range-handling strategy);
+        # the product is scaled back afterwards.
+        scale_a = fp16_scale_factor(float(np.max(np.abs(a))) if a.size else 0.0)
+        scale_b = fp16_scale_factor(float(np.max(np.abs(b))) if b.size else 0.0)
+        a16 = (a / scale_a).astype(np.float16)
+        b16 = (b / scale_b).astype(np.float16)
+        if a16.size and not np.all(np.isfinite(a16)):
+            raise PrecisionError("operand A overflows fp16 even after scaling")
+        if b16.size and not np.all(np.isfinite(b16)):
+            raise PrecisionError("operand B overflows fp16 even after scaling")
+        # fp16 products are exact in fp32; accumulation rounds in fp32,
+        # exactly as WMMA's fp32 accumulator does.
+        product = a16.astype(np.float32) @ b16.astype(np.float32)
+        return product.astype(np.float64) * (scale_a * scale_b)
+
+    def _matmul_int(
+        self, a: np.ndarray, b: np.ndarray, precision: Precision
+    ) -> np.ndarray:
+        lo, hi = (-8, 7) if precision == Precision.INT4 else (-128, 127)
+        a_int = np.rint(a).astype(np.int64)
+        b_int = np.rint(b).astype(np.int64)
+        if a_int.size and (a_int.min() < lo or a_int.max() > hi):
+            raise PrecisionError(
+                f"operand A outside {precision.value} range [{lo}, {hi}]"
+            )
+        if b_int.size and (b_int.min() < lo or b_int.max() > hi):
+            raise PrecisionError(
+                f"operand B outside {precision.value} range [{lo}, {hi}]"
+            )
+        # int8/int4 MMA accumulates in int32; int64 matmul is exact for
+        # every in-range input, so emulate and then check the accumulator.
+        product = a_int @ b_int
+        if product.size and np.max(np.abs(product)) > (1 << 31) - 1:
+            raise PrecisionError("int32 accumulator overflow in TCU matmul")
+        return product
+
+    @staticmethod
+    def representable_fp16(values: np.ndarray) -> bool:
+        """Whether all values fit fp16's finite range without scaling."""
+        if values.size == 0:
+            return True
+        return bool(np.max(np.abs(values)) <= FP16_MAX)

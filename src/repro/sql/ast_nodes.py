@@ -1,0 +1,177 @@
+"""Abstract syntax tree for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+AGGREGATE_FUNCS = ("sum", "count", "avg", "min", "max")
+COMPARISON_OPS = ("=", "<", ">", "<=", ">=", "<>", "!=")
+ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def walk(self):
+        """Yield this node and all descendants."""
+        yield self
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified column reference ``table.column``."""
+
+    table: str | None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A number or string constant."""
+
+    value: float | int | str
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Parameter(Expr):
+    """A named ``@parameter`` substituted at execution time."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic over two sub-expressions."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def walk(self):
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """SUM/COUNT/AVG/MIN/MAX over an expression (or ``*`` for COUNT)."""
+
+    func: str
+    argument: Expr | None  # None encodes COUNT(*)
+
+    def walk(self):
+        yield self
+        if self.argument is not None:
+            yield from self.argument.walk()
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        return f"{self.func.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return (self.alias or self.name).lower()
+
+
+class Predicate:
+    """Base class for WHERE-clause conjuncts."""
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``left op right`` with op in =, <, >, <=, >=, <>, !=."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``expr BETWEEN low AND high`` (inclusive)."""
+
+    expr: Expr
+    low: Expr
+    high: Expr
+
+    def __str__(self) -> str:
+        return f"{self.expr} BETWEEN {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``expr IN (v1, v2, ...)``."""
+
+    expr: Expr
+    values: tuple[Literal, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(v) for v in self.values)
+        return f"{self.expr} IN ({inner})"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT with conjunctive WHERE predicates."""
+
+    select_items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    where: tuple[Predicate, ...] = ()
+    group_by: tuple[Expr, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    select_star: bool = False
+
+    def aggregates(self) -> list[AggregateCall]:
+        """All aggregate calls appearing in the select list."""
+        found: list[AggregateCall] = []
+        for item in self.select_items:
+            found.extend(
+                node for node in item.expr.walk()
+                if isinstance(node, AggregateCall)
+            )
+        return found
+
+    @property
+    def has_aggregates(self) -> bool:
+        return bool(self.aggregates())

@@ -1,0 +1,339 @@
+"""Name/type resolution of parsed queries against a catalog.
+
+The binder resolves every :class:`ColumnRef` to a unique (table binding,
+column, type), substitutes ``@parameters``, classifies WHERE conjuncts
+into per-table filters vs join predicates, and validates the aggregate
+structure.  Both the baseline engines' planner and TCUDB's pattern
+matcher consume the resulting :class:`BoundQuery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import BindError
+from repro.sql.ast_nodes import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    OrderItem,
+    Parameter,
+    Predicate,
+    SelectItem,
+    SelectStatement,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.statistics import ColumnStats
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+
+@dataclass(frozen=True)
+class BoundColumn:
+    """A column reference resolved to a unique table binding."""
+
+    binding: str  # FROM-clause alias (lowercase)
+    column: str  # column name (lowercase)
+    dtype: DataType
+
+    @property
+    def key(self) -> str:
+        return f"{self.binding}.{self.column}"
+
+    def __str__(self) -> str:
+        return self.key
+
+
+@dataclass(frozen=True)
+class BoundTable:
+    binding: str
+    table: Table
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """A comparison between columns of two different tables."""
+
+    op: str
+    left: BoundColumn
+    right: BoundColumn
+
+    @property
+    def is_equi(self) -> bool:
+        return self.op == "="
+
+
+@dataclass
+class BoundQuery:
+    """A fully resolved SELECT."""
+
+    statement: SelectStatement
+    tables: list[BoundTable]
+    resolution: dict[ColumnRef, BoundColumn]
+    join_predicates: list[JoinPredicate]
+    filters: dict[str, list[Predicate]]  # binding -> local conjuncts
+    select_items: list[SelectItem]
+    group_by: list[BoundColumn]
+    order_by: list[OrderItem]
+    limit: int | None = None
+
+    def binding(self, name: str) -> BoundTable:
+        for bound in self.tables:
+            if bound.binding == name:
+                return bound
+        raise BindError(f"no table bound as {name!r}")
+
+    def resolve(self, ref: ColumnRef) -> BoundColumn:
+        bound = self.resolution.get(ref)
+        if bound is None:
+            raise BindError(f"unresolved column reference {ref}")
+        return bound
+
+    def column_stats(self, column: BoundColumn) -> ColumnStats:
+        return self.binding(column.binding).table.stats(column.column)
+
+    def aggregates(self) -> list[AggregateCall]:
+        return self.statement.aggregates()
+
+    @property
+    def has_aggregates(self) -> bool:
+        return bool(self.aggregates())
+
+
+def substitute_parameters(expr: Expr, params: dict[str, object]) -> Expr:
+    """Replace @parameters with literals, recursively."""
+    if isinstance(expr, Parameter):
+        if expr.name not in params:
+            raise BindError(f"missing value for parameter @{expr.name}")
+        value = params[expr.name]
+        if not isinstance(value, (int, float, str)):
+            raise BindError(f"parameter @{expr.name} must be a scalar")
+        return Literal(value)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            op=expr.op,
+            left=substitute_parameters(expr.left, params),
+            right=substitute_parameters(expr.right, params),
+        )
+    if isinstance(expr, AggregateCall) and expr.argument is not None:
+        return AggregateCall(
+            func=expr.func,
+            argument=substitute_parameters(expr.argument, params),
+        )
+    return expr
+
+
+def _substitute_predicate(pred: Predicate, params: dict[str, object]) -> Predicate:
+    if isinstance(pred, Comparison):
+        return Comparison(
+            op=pred.op,
+            left=substitute_parameters(pred.left, params),
+            right=substitute_parameters(pred.right, params),
+        )
+    if isinstance(pred, Between):
+        return Between(
+            expr=substitute_parameters(pred.expr, params),
+            low=substitute_parameters(pred.low, params),
+            high=substitute_parameters(pred.high, params),
+        )
+    return pred
+
+
+class _Binder:
+    def __init__(self, statement: SelectStatement, catalog: Catalog,
+                 params: dict[str, object]):
+        self._statement = statement
+        self._catalog = catalog
+        self._params = params
+        self._tables: list[BoundTable] = []
+        self._resolution: dict[ColumnRef, BoundColumn] = {}
+
+    def bind(self) -> BoundQuery:
+        self._bind_tables()
+        statement = self._statement
+        select_items = self._bind_select_items(statement)
+        join_predicates, filters = self._classify_predicates(statement)
+        group_by = [self._bind_group_expr(e) for e in statement.group_by]
+        order_by = [
+            OrderItem(
+                expr=substitute_parameters(item.expr, self._params),
+                descending=item.descending,
+            )
+            for item in statement.order_by
+        ]
+        for item in order_by:
+            for node in item.expr.walk():
+                if isinstance(node, ColumnRef):
+                    self._resolve_or_alias(node, select_items)
+        return BoundQuery(
+            statement=statement,
+            tables=self._tables,
+            resolution=self._resolution,
+            join_predicates=join_predicates,
+            filters=filters,
+            select_items=select_items,
+            group_by=group_by,
+            order_by=order_by,
+            limit=statement.limit,
+        )
+
+    # -- tables ------------------------------------------------------------ #
+
+    def _bind_tables(self) -> None:
+        seen: set[str] = set()
+        for ref in self._statement.tables:
+            binding = ref.binding_name
+            if binding in seen:
+                raise BindError(f"duplicate table binding {binding!r}")
+            seen.add(binding)
+            self._tables.append(
+                BoundTable(binding=binding, table=self._catalog.get(ref.name))
+            )
+
+    # -- column resolution ---------------------------------------------------- #
+
+    def _resolve_column(self, ref: ColumnRef) -> BoundColumn:
+        cached = self._resolution.get(ref)
+        if cached is not None:
+            return cached
+        candidates: list[BoundColumn] = []
+        for bound in self._tables:
+            if ref.table is not None and ref.table != bound.binding:
+                # Also accept the real table name as qualifier.
+                if ref.table != bound.table.name.lower():
+                    continue
+            if bound.table.has_column(ref.column):
+                candidates.append(
+                    BoundColumn(
+                        binding=bound.binding,
+                        column=ref.column,
+                        dtype=bound.table.dtype(ref.column),
+                    )
+                )
+        if not candidates:
+            raise BindError(f"unknown column {ref}")
+        if len(candidates) > 1:
+            raise BindError(f"ambiguous column {ref}")
+        self._resolution[ref] = candidates[0]
+        return candidates[0]
+
+    def _resolve_or_alias(
+        self, ref: ColumnRef, select_items: list[SelectItem]
+    ) -> None:
+        """ORDER BY may name a select-list alias instead of a column."""
+        if ref.table is None:
+            aliases = {
+                (item.alias or "").lower() for item in select_items if item.alias
+            }
+            if ref.column in aliases:
+                return
+        self._resolve_column(ref)
+
+    def _bind_expr(self, expr: Expr) -> Expr:
+        expr = substitute_parameters(expr, self._params)
+        for node in expr.walk():
+            if isinstance(node, ColumnRef):
+                self._resolve_column(node)
+        return expr
+
+    def _bind_group_expr(self, expr: Expr) -> BoundColumn:
+        expr = substitute_parameters(expr, self._params)
+        if not isinstance(expr, ColumnRef):
+            raise BindError("GROUP BY supports plain column references only")
+        return self._resolve_column(expr)
+
+    # -- select list ------------------------------------------------------------ #
+
+    def _bind_select_items(self, statement: SelectStatement) -> list[SelectItem]:
+        items: list[SelectItem] = []
+        if statement.select_star:
+            for bound in self._tables:
+                for column in bound.table.column_names:
+                    ref = ColumnRef(table=bound.binding, column=column.lower())
+                    self._resolve_column(ref)
+                    items.append(SelectItem(expr=ref, alias=column))
+            return items
+        for item in statement.select_items:
+            bound_expr = self._bind_expr(item.expr)
+            self._validate_aggregate_nesting(bound_expr)
+            items.append(SelectItem(expr=bound_expr, alias=item.alias))
+        return items
+
+    @staticmethod
+    def _validate_aggregate_nesting(expr: Expr) -> None:
+        for node in expr.walk():
+            if isinstance(node, AggregateCall) and node.argument is not None:
+                inner = [
+                    n for n in node.argument.walk()
+                    if isinstance(n, AggregateCall)
+                ]
+                if inner:
+                    raise BindError("nested aggregate calls are not allowed")
+
+    # -- predicate classification -------------------------------------------------- #
+
+    def _classify_predicates(
+        self, statement: SelectStatement
+    ) -> tuple[list[JoinPredicate], dict[str, list[Predicate]]]:
+        joins: list[JoinPredicate] = []
+        filters: dict[str, list[Predicate]] = {
+            bound.binding: [] for bound in self._tables
+        }
+        for predicate in statement.where:
+            predicate = _substitute_predicate(predicate, self._params)
+            join = self._try_join_predicate(predicate)
+            if join is not None:
+                joins.append(join)
+                continue
+            bindings = self._predicate_bindings(predicate)
+            if len(bindings) != 1:
+                raise BindError(
+                    f"predicate {predicate} mixes tables without being a "
+                    "column-to-column join condition"
+                )
+            filters[next(iter(bindings))].append(predicate)
+        return joins, filters
+
+    def _try_join_predicate(self, predicate: Predicate) -> JoinPredicate | None:
+        if not isinstance(predicate, Comparison):
+            return None
+        if not isinstance(predicate.left, ColumnRef):
+            return None
+        if not isinstance(predicate.right, ColumnRef):
+            return None
+        left = self._resolve_column(predicate.left)
+        right = self._resolve_column(predicate.right)
+        if left.binding == right.binding:
+            return None
+        return JoinPredicate(op=predicate.op, left=left, right=right)
+
+    def _predicate_bindings(self, predicate: Predicate) -> set[str]:
+        exprs: list[Expr]
+        if isinstance(predicate, Comparison):
+            exprs = [predicate.left, predicate.right]
+        elif isinstance(predicate, Between):
+            exprs = [predicate.expr, predicate.low, predicate.high]
+        elif isinstance(predicate, InList):
+            exprs = [predicate.expr]
+        else:
+            raise BindError(f"unsupported predicate {predicate!r}")
+        bindings: set[str] = set()
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, ColumnRef):
+                    bindings.add(self._resolve_column(node).binding)
+        return bindings
+
+
+def bind(
+    statement: SelectStatement,
+    catalog: Catalog,
+    params: dict[str, object] | None = None,
+) -> BoundQuery:
+    """Resolve a parsed statement against the catalog."""
+    return _Binder(statement, catalog, params or {}).bind()

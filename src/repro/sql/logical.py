@@ -1,0 +1,119 @@
+"""Logical query plans.
+
+A small algebra — Scan, Join, Aggregate, Project, Sort, Limit — produced
+by the planner from a bound query and interpreted by the baseline engines
+(YDB on the simulated GPU, MonetDB on the CPU).  TCUDB's optimizer
+instead pattern-matches the bound query directly (Section 3), but falls
+back to this plan when its tests fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.ast_nodes import Expr, OrderItem, Predicate, SelectItem
+from repro.sql.binder import BoundColumn, JoinPredicate
+
+
+class LogicalNode:
+    """Base class of logical plan nodes."""
+
+    def children(self) -> list["LogicalNode"]:
+        return []
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass
+class Scan(LogicalNode):
+    """Read one table binding, applying its local filter conjuncts."""
+
+    binding: str
+    table_name: str
+    filters: list[Predicate] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.filters:
+            conds = " AND ".join(str(p) for p in self.filters)
+            return f"Scan({self.binding} [{conds}])"
+        return f"Scan({self.binding})"
+
+
+@dataclass
+class Join(LogicalNode):
+    """Binary join on one predicate (equi or non-equi)."""
+
+    left: LogicalNode
+    right: LogicalNode
+    predicate: JoinPredicate
+
+    def children(self) -> list[LogicalNode]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        return f"Join({self.predicate.left} {self.predicate.op} {self.predicate.right})"
+
+
+@dataclass
+class Aggregate(LogicalNode):
+    """Group-by + aggregate evaluation."""
+
+    input: LogicalNode
+    group_by: list[BoundColumn]
+    items: list[SelectItem]  # full select list (aggregates + group cols)
+
+    def children(self) -> list[LogicalNode]:
+        return [self.input]
+
+    def describe(self) -> str:
+        keys = ", ".join(str(c) for c in self.group_by) or "<global>"
+        return f"Aggregate(by {keys})"
+
+
+@dataclass
+class Project(LogicalNode):
+    """Final expression projection for non-aggregate queries."""
+
+    input: LogicalNode
+    items: list[SelectItem]
+
+    def children(self) -> list[LogicalNode]:
+        return [self.input]
+
+    def describe(self) -> str:
+        return f"Project({', '.join(i.output_name for i in self.items)})"
+
+
+@dataclass
+class Sort(LogicalNode):
+    input: LogicalNode
+    keys: list[OrderItem]
+
+    def children(self) -> list[LogicalNode]:
+        return [self.input]
+
+    def describe(self) -> str:
+        return f"Sort({len(self.keys)} keys)"
+
+
+@dataclass
+class Limit(LogicalNode):
+    input: LogicalNode
+    count: int
+
+    def children(self) -> list[LogicalNode]:
+        return [self.input]
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+def explain(node: LogicalNode, indent: int = 0) -> str:
+    """Readable plan tree, one node per line."""
+    lines = ["  " * indent + node.describe()]
+    for child in node.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Logical planner: bound query -> left-deep logical plan.
+
+Join order follows the FROM-clause order (the paper assumes the
+conventional join order A -> B -> C in Section 3.2); each joined table
+must be connected to the already-joined set by at least one predicate —
+cross products are rejected.  Filters are pushed down to their scans.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import PlanError
+from repro.sql.binder import BoundQuery, JoinPredicate
+from repro.sql.logical import (
+    Aggregate,
+    Join,
+    Limit,
+    LogicalNode,
+    Project,
+    Scan,
+    Sort,
+)
+
+
+def plan(bound: BoundQuery) -> LogicalNode:
+    """Build the logical plan for a bound query."""
+    node = _plan_joins(bound)
+    if bound.has_aggregates or bound.group_by:
+        _validate_group_select(bound)
+        node = Aggregate(
+            input=node, group_by=list(bound.group_by),
+            items=list(bound.select_items),
+        )
+    else:
+        node = Project(input=node, items=list(bound.select_items))
+    if bound.order_by:
+        node = Sort(input=node, keys=list(bound.order_by))
+    if bound.limit is not None:
+        node = Limit(input=node, count=bound.limit)
+    return node
+
+
+def _plan_joins(bound: BoundQuery) -> LogicalNode:
+    remaining = list(bound.join_predicates)
+    scans = {
+        table.binding: Scan(
+            binding=table.binding,
+            table_name=table.table.name,
+            filters=list(bound.filters.get(table.binding, ())),
+        )
+        for table in bound.tables
+    }
+    order = [table.binding for table in bound.tables]
+    node: LogicalNode = scans[order[0]]
+    joined = {order[0]}
+    for binding in order[1:]:
+        predicate = _pick_predicate(remaining, joined, binding)
+        if predicate is None:
+            raise PlanError(
+                f"table {binding!r} is not connected to the join tree; "
+                "cross products are not supported"
+            )
+        remaining.remove(predicate)
+        # Keep the new table on the right-hand side of the join node.
+        if predicate.right.binding != binding:
+            predicate = JoinPredicate(
+                op=_flip_op(predicate.op),
+                left=predicate.right,
+                right=predicate.left,
+            )
+        node = Join(left=node, right=scans[binding], predicate=predicate)
+        joined.add(binding)
+    leftover = [
+        p for p in remaining
+        if p.left.binding in joined and p.right.binding in joined
+    ]
+    if leftover:
+        raise PlanError(
+            "multiple join predicates between the same table pair are not "
+            f"supported: {leftover[0].left} {leftover[0].op} {leftover[0].right}"
+        )
+    return node
+
+
+def _pick_predicate(
+    predicates: list[JoinPredicate], joined: set[str], new_binding: str
+) -> JoinPredicate | None:
+    equi = [
+        p for p in predicates
+        if _connects(p, joined, new_binding) and p.is_equi
+    ]
+    if equi:
+        return equi[0]
+    non_equi = [p for p in predicates if _connects(p, joined, new_binding)]
+    return non_equi[0] if non_equi else None
+
+
+def _connects(
+    predicate: JoinPredicate, joined: set[str], new_binding: str
+) -> bool:
+    left, right = predicate.left.binding, predicate.right.binding
+    return (left in joined and right == new_binding) or (
+        right in joined and left == new_binding
+    )
+
+
+def _flip_op(op: str) -> str:
+    return {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+
+
+def _validate_group_select(bound: BoundQuery) -> None:
+    """Every non-aggregate select column must appear in GROUP BY."""
+    from repro.sql.ast_nodes import AggregateCall, ColumnRef
+
+    group_keys = {column.key for column in bound.group_by}
+    for item in bound.select_items:
+        agg_nodes = [
+            n for n in item.expr.walk() if isinstance(n, AggregateCall)
+        ]
+        if agg_nodes:
+            continue
+        for node in item.expr.walk():
+            if isinstance(node, ColumnRef):
+                key = bound.resolve(node).key
+                if key not in group_keys:
+                    raise PlanError(
+                        f"column {key} in SELECT is neither aggregated nor "
+                        "in GROUP BY"
+                    )

@@ -1,0 +1,28 @@
+"""Columnar storage: typed columns, tables, statistics, catalog, CSV."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.csv_io import read_csv, write_csv
+from repro.storage.dictionary import StringDictionary
+from repro.storage.statistics import (
+    ColumnStats,
+    compute_stats,
+    join_output_estimate,
+)
+from repro.storage.table import Table
+from repro.storage.types import DataType, common_numeric_type, infer_type
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "DataType",
+    "StringDictionary",
+    "Table",
+    "common_numeric_type",
+    "compute_stats",
+    "infer_type",
+    "join_output_estimate",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,47 @@
+"""Database catalog: name -> table registry with statistics access."""
+
+from __future__ import annotations
+
+from repro.common.errors import SchemaError, UnknownTableError
+from repro.storage.statistics import ColumnStats
+from repro.storage.table import Table
+
+
+class Catalog:
+    """Holds the registered tables of one database instance."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        key = table.name.lower()
+        if key in self._tables and not replace:
+            raise SchemaError(f"table {table.name!r} already registered")
+        self._tables[key] = table
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[key]
+
+    def get(self, name: str) -> Table:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise UnknownTableError(name)
+        return table
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def stats(self, table_name: str, column_name: str) -> ColumnStats:
+        return self.get(table_name).stats(column_name)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        return f"Catalog(tables={self.table_names()})"

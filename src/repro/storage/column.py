@@ -1,0 +1,110 @@
+"""Typed columns.
+
+A :class:`Column` owns a contiguous numpy array of values (or dictionary
+codes for strings) plus the optional :class:`StringDictionary`.  Columns
+are immutable from the caller's perspective: all operations return new
+columns sharing the dictionary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import SchemaError, StorageError
+from repro.storage.dictionary import StringDictionary
+from repro.storage.types import DataType, infer_type
+
+
+class Column:
+    """An immutable typed column of values."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        dtype: DataType,
+        dictionary: StringDictionary | None = None,
+    ):
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise SchemaError("column data must be one-dimensional")
+        if dtype == DataType.STRING and dictionary is None:
+            raise SchemaError("string columns require a dictionary")
+        if dtype != DataType.STRING and dictionary is not None:
+            raise SchemaError("only string columns carry a dictionary")
+        self._data = np.ascontiguousarray(data, dtype=dtype.numpy_dtype)
+        self._data.flags.writeable = False
+        self.dtype = dtype
+        self.dictionary = dictionary
+
+    # -- constructors ----------------------------------------------------- #
+
+    @staticmethod
+    def from_values(values) -> "Column":
+        """Build a column from raw Python/numpy values, inferring the type."""
+        dtype = infer_type(values)
+        if dtype == DataType.STRING:
+            dictionary = StringDictionary()
+            codes = dictionary.encode([str(v) for v in values])
+            return Column(codes, dtype, dictionary)
+        return Column(np.asarray(values), dtype)
+
+    # -- accessors --------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    @property
+    def data(self) -> np.ndarray:
+        """Physical array: values for numerics, codes for strings."""
+        return self._data
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._data.nbytes)
+
+    def values(self) -> np.ndarray:
+        """Logical values (strings decoded)."""
+        if self.dtype == DataType.STRING:
+            assert self.dictionary is not None
+            return self.dictionary.decode(self._data)
+        return self._data
+
+    def encode_literal(self, value) -> float:
+        """Translate a literal into this column's physical domain."""
+        if self.dtype == DataType.STRING:
+            assert self.dictionary is not None
+            if not self.dictionary.contains(str(value)):
+                return -1  # matches nothing; codes are non-negative
+            return self.dictionary.lookup(str(value))
+        return value
+
+    # -- transformations ---------------------------------------------------- #
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by position."""
+        return Column(self._data[indices], self.dtype, self.dictionary)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self._data.shape:
+            raise StorageError("filter mask length mismatch")
+        return Column(self._data[mask], self.dtype, self.dictionary)
+
+    def concat(self, other: "Column") -> "Column":
+        """Append another column of the same logical type."""
+        if other.dtype != self.dtype:
+            raise SchemaError(
+                f"cannot concat {other.dtype.value} onto {self.dtype.value}"
+            )
+        if self.dtype != DataType.STRING:
+            return Column(np.concatenate([self._data, other._data]), self.dtype)
+        assert self.dictionary is not None and other.dictionary is not None
+        merged = self.dictionary.merged_with(other.dictionary)
+        remap = merged.remap_codes(other.dictionary)
+        other_codes = remap[other._data] if len(other) else other._data
+        return Column(
+            np.concatenate([self._data, other_codes]), self.dtype, merged
+        )
+
+    def __repr__(self) -> str:
+        return f"Column({self.dtype.value}, n={len(self)})"

@@ -1,0 +1,61 @@
+"""CSV import/export for tables.
+
+Minimal but correct: quoting via the standard :mod:`csv` module, type
+inference per column (int -> float -> string), round-trip fidelity for the
+dataset files the examples ship.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.common.errors import StorageError
+from repro.storage.table import Table
+
+
+def _parse_column(raw: list[str]):
+    """Try int, then float, else keep strings."""
+    try:
+        return [int(v) for v in raw]
+    except ValueError:
+        pass
+    try:
+        return [float(v) for v in raw]
+    except ValueError:
+        return raw
+
+
+def read_csv(path: str | Path, table_name: str | None = None) -> Table:
+    """Load a CSV with a header row into a typed table."""
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError(f"{path}: empty CSV") from None
+        rows = list(reader)
+    if not header:
+        raise StorageError(f"{path}: missing header row")
+    bad = [i for i, row in enumerate(rows) if len(row) != len(header)]
+    if bad:
+        raise StorageError(f"{path}: row {bad[0] + 2} has wrong arity")
+    name = table_name if table_name is not None else path.stem
+    columns = {
+        column_name: _parse_column([row[i] for row in rows])
+        for i, column_name in enumerate(header)
+    }
+    return Table.from_dict(name, columns)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table (decoded values) as CSV with a header row."""
+    path = Path(path)
+    decoded = table.to_dict()
+    names = table.column_names
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in zip(*(decoded[n] for n in names)):
+            writer.writerow(row)

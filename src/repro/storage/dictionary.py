@@ -1,0 +1,81 @@
+"""Dictionary encoding for string columns.
+
+Join keys in the entity-matching workloads are strings (artist names,
+copyright lines, ...).  The column store maps each distinct string to a
+dense integer code; all engine operators — including the table->matrix
+transformation — work on codes, which is what makes string joins
+matrix-encodable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import StorageError
+
+
+class StringDictionary:
+    """Bidirectional mapping between strings and dense int64 codes."""
+
+    def __init__(self, values: list[str] | None = None):
+        self._values: list[str] = []
+        self._codes: dict[str, int] = {}
+        if values:
+            for value in values:
+                self.encode_one(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def encode_one(self, value: str) -> int:
+        """Code for ``value``, inserting it if unseen."""
+        value = str(value)
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def encode(self, values) -> np.ndarray:
+        """Encode a sequence of strings into an int64 code array."""
+        return np.fromiter(
+            (self.encode_one(v) for v in values), dtype=np.int64,
+            count=len(values),
+        )
+
+    def lookup(self, value: str) -> int:
+        """Code for an existing value; raises if absent."""
+        code = self._codes.get(str(value))
+        if code is None:
+            raise StorageError(f"string {value!r} not in dictionary")
+        return code
+
+    def contains(self, value: str) -> bool:
+        return str(value) in self._codes
+
+    def decode_one(self, code: int) -> str:
+        if not 0 <= code < len(self._values):
+            raise StorageError(f"dictionary code {code} out of range")
+        return self._values[code]
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self._values)):
+            raise StorageError("dictionary code out of range")
+        values = np.array(self._values, dtype=object)
+        return values[codes]
+
+    def merged_with(self, other: "StringDictionary") -> "StringDictionary":
+        """A new dictionary containing both value sets (self's codes first)."""
+        merged = StringDictionary(list(self._values))
+        for value in other._values:
+            merged.encode_one(value)
+        return merged
+
+    def remap_codes(self, other: "StringDictionary") -> np.ndarray:
+        """Array mapping ``other``'s codes into this dictionary's codes."""
+        return np.fromiter(
+            (self.encode_one(v) for v in other._values), dtype=np.int64,
+            count=len(other._values),
+        )

@@ -1,0 +1,68 @@
+"""Per-column statistics: the feasibility test's table metadata.
+
+Section 4.2.1: "TCUDB adds metadata to each database table to contain
+three values for each column, including (1) the minimum value, (2) the
+maximum value, and (3) the number of distinct values."  The optimizer uses
+these to pick precisions, bound result magnitudes (m1 * m2 * n), estimate
+matrix dimensions/densities and join output cardinalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.column import Column
+from repro.storage.types import DataType
+from repro.tensor.precision import ValueRange
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """min / max / #distinct for one column, plus the row count."""
+
+    min_value: float
+    max_value: float
+    n_distinct: int
+    n_rows: int
+
+    @property
+    def value_range(self) -> ValueRange:
+        return ValueRange(self.min_value, self.max_value)
+
+    @property
+    def density_as_key(self) -> float:
+        """Density of the indicator matrix keyed on this column: each row
+        contributes one nonzero across ``n_distinct`` key columns."""
+        return 1.0 / self.n_distinct if self.n_distinct else 0.0
+
+
+def compute_stats(column: Column) -> ColumnStats:
+    """Scan a column and produce its statistics triple."""
+    data = column.data
+    if data.size == 0:
+        return ColumnStats(0.0, 0.0, 0, 0)
+    if column.dtype == DataType.STRING:
+        # Statistics for strings are over dictionary codes: join planning
+        # only needs cardinalities and the code domain bounds.
+        distinct = int(np.unique(data).size)
+        return ColumnStats(
+            float(data.min()), float(data.max()), distinct, int(data.size)
+        )
+    distinct = int(np.unique(data).size)
+    return ColumnStats(
+        float(data.min()), float(data.max()), distinct, int(data.size)
+    )
+
+
+def join_output_estimate(
+    left: ColumnStats, right: ColumnStats
+) -> float:
+    """Estimated matching-pair count of an equi-join on two columns.
+
+    Classic uniform-frequency estimate: |L| * |R| / max(d_L, d_R), with the
+    key domain overlap assumed total (our generators ensure it).
+    """
+    d = max(left.n_distinct, right.n_distinct, 1)
+    return left.n_rows * right.n_rows / d

@@ -1,0 +1,87 @@
+"""Coordinate-format sparse matrices.
+
+COO is the natural output of the table->matrix transformation: each
+qualifying record contributes one (row, col, value) triple.  Duplicate
+coordinates sum, which is exactly the multiply-accumulate semantics the
+join/aggregation encodings of Section 3 rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ReproError
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """Immutable (rows, cols, vals) triple list with an explicit shape."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self):
+        rows = np.asarray(self.rows, dtype=np.int64)
+        cols = np.asarray(self.cols, dtype=np.int64)
+        vals = np.asarray(self.vals, dtype=np.float64)
+        if not (rows.shape == cols.shape == vals.shape) or rows.ndim != 1:
+            raise ReproError("COO arrays must be 1-D and equal length")
+        n_rows, n_cols = self.shape
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n_rows:
+                raise ReproError("COO row index out of bounds")
+            if cols.min() < 0 or cols.max() >= n_cols:
+                raise ReproError("COO col index out of bounds")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "vals", vals)
+
+    @property
+    def nnz(self) -> int:
+        """Stored triples (duplicates counted separately)."""
+        return int(self.rows.size)
+
+    @property
+    def density(self) -> float:
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Collapse duplicate coordinates by summing their values."""
+        if self.nnz == 0:
+            return self
+        keys = self.rows * self.shape[1] + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        unique_keys, start = np.unique(keys_sorted, return_index=True)
+        sums = np.add.reduceat(self.vals[order], start)
+        return COOMatrix(
+            rows=unique_keys // self.shape[1],
+            cols=unique_keys % self.shape[1],
+            vals=sums,
+            shape=self.shape,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.vals)
+        return dense
+
+    def transpose(self) -> "COOMatrix":
+        return COOMatrix(
+            rows=self.cols, cols=self.rows, vals=self.vals,
+            shape=(self.shape[1], self.shape[0]),
+        )
+
+    @staticmethod
+    def from_dense(dense: np.ndarray) -> "COOMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        rows, cols = np.nonzero(dense)
+        return COOMatrix(
+            rows=rows, cols=cols, vals=dense[rows, cols],
+            shape=(dense.shape[0], dense.shape[1]),
+        )

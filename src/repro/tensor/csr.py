@@ -1,0 +1,158 @@
+"""Compressed Sparse Row matrices, built from scratch.
+
+TCU-SpMM's first step (Section 4.2.4) transforms an input into CSR before
+tiling it.  This implementation keeps the canonical (indptr, indices,
+data) layout, supports conversion to/from COO/dense, transposition,
+sparse x dense products and a Gustavson-style sparse x sparse product used
+as the CUDA-core reference algorithm (what YDB/MAGiQ effectively run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.tensor.coo import COOMatrix
+
+
+class CSRMatrix:
+    """Compressed sparse row matrix over float64 values."""
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 data: np.ndarray, shape: tuple[int, int]):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.indptr.ndim != 1 or self.indptr.size != self.shape[0] + 1:
+            raise ReproError("indptr must have n_rows + 1 entries")
+        if self.indices.shape != self.data.shape or self.indices.ndim != 1:
+            raise ReproError("indices/data must be 1-D and equal length")
+        if int(self.indptr[-1]) != self.indices.size:
+            raise ReproError("indptr[-1] must equal nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ReproError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[1]
+        ):
+            raise ReproError("column index out of bounds")
+
+    # -- constructors ----------------------------------------------------- #
+
+    @staticmethod
+    def from_coo(coo: COOMatrix) -> "CSRMatrix":
+        """Build CSR from COO, summing duplicate coordinates."""
+        coo = coo.sum_duplicates()
+        order = np.lexsort((coo.cols, coo.rows))
+        rows = coo.rows[order]
+        counts = np.bincount(rows, minlength=coo.shape[0])
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return CSRMatrix(indptr, coo.cols[order], coo.vals[order], coo.shape)
+
+    @staticmethod
+    def from_dense(dense: np.ndarray) -> "CSRMatrix":
+        return CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+
+    # -- properties ------------------------------------------------------- #
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def density(self) -> float:
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def row_nnz(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    # -- conversions ------------------------------------------------------ #
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(np.arange(self.shape[0]), self.row_nnz())
+        return COOMatrix(rows, self.indices.copy(), self.data.copy(), self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        rows = np.repeat(np.arange(self.shape[0]), self.row_nnz())
+        dense[rows, self.indices] = self.data
+        return dense
+
+    def transpose(self) -> "CSRMatrix":
+        return CSRMatrix.from_coo(self.to_coo().transpose())
+
+    # -- arithmetic -------------------------------------------------------- #
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix x dense vector."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ReproError(f"vector shape {x.shape} != ({self.shape[1]},)")
+        products = self.data * x[self.indices]
+        out = np.zeros(self.shape[0], dtype=np.float64)
+        rows = np.repeat(np.arange(self.shape[0]), self.row_nnz())
+        np.add.at(out, rows, products)
+        return out
+
+    def matmul_dense(self, other: np.ndarray) -> np.ndarray:
+        """Sparse x dense matrix product."""
+        other = np.asarray(other, dtype=np.float64)
+        if other.ndim != 2 or other.shape[0] != self.shape[1]:
+            raise ReproError(
+                f"incompatible shapes {self.shape} @ {other.shape}"
+            )
+        out = np.zeros((self.shape[0], other.shape[1]), dtype=np.float64)
+        rows = np.repeat(np.arange(self.shape[0]), self.row_nnz())
+        np.add.at(out, rows, self.data[:, None] * other[self.indices])
+        return out
+
+    def spgemm(self, other: "CSRMatrix") -> "CSRMatrix":
+        """Gustavson sparse x sparse product (row-by-row accumulate)."""
+        if self.shape[1] != other.shape[0]:
+            raise ReproError(
+                f"incompatible shapes {self.shape} @ {other.shape}"
+            )
+        out_rows: list[np.ndarray] = []
+        out_cols: list[np.ndarray] = []
+        out_vals: list[np.ndarray] = []
+        for i in range(self.shape[0]):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            if lo == hi:
+                continue
+            accumulator: dict[int, float] = {}
+            for idx in range(lo, hi):
+                k = int(self.indices[idx])
+                a_val = float(self.data[idx])
+                b_lo, b_hi = other.indptr[k], other.indptr[k + 1]
+                b_cols = other.indices[b_lo:b_hi]
+                b_vals = other.data[b_lo:b_hi]
+                for j, v in zip(b_cols, b_vals):
+                    accumulator[int(j)] = accumulator.get(int(j), 0.0) + a_val * v
+            if accumulator:
+                cols = np.fromiter(accumulator.keys(), dtype=np.int64)
+                vals = np.fromiter(accumulator.values(), dtype=np.float64)
+                out_rows.append(np.full(cols.size, i, dtype=np.int64))
+                out_cols.append(cols)
+                out_vals.append(vals)
+        shape = (self.shape[0], other.shape[1])
+        if not out_rows:
+            return CSRMatrix.from_coo(
+                COOMatrix(np.array([], dtype=np.int64),
+                          np.array([], dtype=np.int64),
+                          np.array([], dtype=np.float64), shape)
+            )
+        return CSRMatrix.from_coo(COOMatrix(
+            np.concatenate(out_rows), np.concatenate(out_cols),
+            np.concatenate(out_vals), shape,
+        ))
+
+    def spgemm_flops(self, other: "CSRMatrix") -> int:
+        """Multiply-accumulate count of the Gustavson product (x2 flops)."""
+        if self.shape[1] != other.shape[0]:
+            raise ReproError("incompatible shapes for spgemm_flops")
+        other_row_nnz = other.row_nnz()
+        return int(2 * np.sum(other_row_nnz[self.indices]))
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,156 @@
+"""TCU-compatible precisions and their numeric properties.
+
+NVIDIA's tensor cores accept at most 16-bit inputs: half floats (fp16),
+8-bit integers (int8) and 4-bit integers (int4), accumulating into fp32 or
+int32 (Section 2.1 of the paper).  TCUDB's feasibility test (Section 4.2.1)
+uses per-column min/max/distinct statistics to pick the most compact type
+that still represents the data — or rejects TCU execution entirely.
+
+This module defines the precision lattice and the exact-representability
+rules the feasibility test relies on:
+
+* fp16 represents every integer with magnitude <= 2**11 exactly (11-bit
+  significand); beyond that, casting rounds.
+* int8/int4 represent integers within their two's-complement range exactly.
+* Products of two fp16 values are exact in fp32; int8/int4 products
+  accumulate exactly in int32 until the accumulator itself overflows.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import PrecisionError
+
+# Largest integer n such that all integers in [-n, n] round-trip
+# exactly through IEEE binary16 (2**11).
+FP16_EXACT_INT = 2048
+# Largest finite fp16 magnitude.
+FP16_MAX = 65504.0
+# fp32 represents integers exactly up to 2**24; beyond that, accumulation
+# rounds, which is the error source in Table 1's small-range rows.
+FP32_EXACT_INT = 1 << 24
+INT32_MAX = (1 << 31) - 1
+
+
+class Precision(enum.Enum):
+    """Input precisions the simulated hardware supports."""
+
+    FP64 = "fp64"  # CPU reference only
+    FP32 = "fp32"  # CUDA cores only
+    FP16 = "fp16"  # TCU
+    INT8 = "int8"  # TCU
+    INT4 = "int4"  # TCU
+
+    @property
+    def bytes_per_element(self) -> float:
+        return {
+            Precision.FP64: 8.0,
+            Precision.FP32: 4.0,
+            Precision.FP16: 2.0,
+            Precision.INT8: 1.0,
+            Precision.INT4: 0.5,
+        }[self]
+
+    @property
+    def is_tcu_compatible(self) -> bool:
+        return self in (Precision.FP16, Precision.INT8, Precision.INT4)
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (Precision.INT8, Precision.INT4)
+
+
+# Precision order from most compact upward; the feasibility test walks
+# this list and picks the first precision that fits (Figure 6, steps
+# "4bit? / 8bit? / 16bit? / 32bit?").
+TCU_PRECISIONS_COMPACT_FIRST = (Precision.INT4, Precision.INT8, Precision.FP16)
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """Closed interval of values observed in a column (from statistics)."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise PrecisionError(f"empty value range [{self.lo}, {self.hi}]")
+
+    @property
+    def magnitude(self) -> float:
+        """m = max(|lo|, |hi|), the paper's conservative bound."""
+        return max(abs(self.lo), abs(self.hi))
+
+    @property
+    def is_integral(self) -> bool:
+        return float(self.lo).is_integer() and float(self.hi).is_integer()
+
+
+def fits_exactly(values: ValueRange, precision: Precision) -> bool:
+    """Whether every value in the range is exactly representable."""
+    if precision == Precision.INT4:
+        return values.is_integral and -8 <= values.lo and values.hi <= 7
+    if precision == Precision.INT8:
+        return values.is_integral and -128 <= values.lo and values.hi <= 127
+    if precision == Precision.FP16:
+        # Exact only for integers within the fp16 significand window; real
+        # values are never exact, so the caller must accept rounding.
+        return values.is_integral and values.magnitude <= FP16_EXACT_INT
+    if precision == Precision.FP32:
+        return values.is_integral and values.magnitude <= FP32_EXACT_INT
+    return precision == Precision.FP64
+
+
+def fits_representable(values: ValueRange, precision: Precision) -> bool:
+    """Whether the range fits the precision at all (allowing rounding)."""
+    if precision in (Precision.INT4, Precision.INT8):
+        return fits_exactly(values, precision)
+    if precision == Precision.FP16:
+        return values.magnitude <= FP16_MAX
+    return True
+
+
+def product_magnitude_bound(a: ValueRange, b: ValueRange, k: int) -> float:
+    """Paper's conservative result bound m1 * m2 * n for a K-length dot.
+
+    Section 4.2.1: with m1/m2 the max magnitudes of the two operand columns
+    and n the reduction length, the largest possible result magnitude is
+    ``m1 * m2 * n``.
+    """
+    if k < 0:
+        raise PrecisionError("reduction length must be non-negative")
+    return a.magnitude * b.magnitude * max(k, 1)
+
+
+def accumulator_exact(a: ValueRange, b: ValueRange, k: int,
+                      precision: Precision) -> bool:
+    """Whether the matmul accumulator stays exact for integral inputs.
+
+    int8/int4 accumulate in int32 (exact until overflow); fp16 inputs
+    accumulate in fp32 (exact while partial sums stay below 2**24).
+    """
+    bound = product_magnitude_bound(a, b, k)
+    if precision.is_integer:
+        return bound <= INT32_MAX
+    if precision == Precision.FP16:
+        return bound <= FP32_EXACT_INT
+    return False
+
+
+def fp16_scale_factor(magnitude: float) -> float:
+    """Power-of-two scale that maps ``magnitude`` into fp16's exact window.
+
+    TCUDB handles ranges beyond 16-bit (e.g. Table 1's +-2**31 row) by
+    scaling inputs down by a power of two before casting to fp16 and
+    scaling the product back up afterwards.  Powers of two are lossless to
+    apply, so the only error left is the fp16 significand rounding.
+    """
+    if magnitude <= 0:
+        return 1.0
+    if magnitude <= FP16_EXACT_INT:
+        return 1.0
+    return 2.0 ** math.ceil(math.log2(magnitude / FP16_EXACT_INT))

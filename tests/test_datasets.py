@@ -1,0 +1,164 @@
+"""Dataset generators: schemas, cardinalities, referential integrity."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BEER_DISTINCTS,
+    BEER_ROWS_A,
+    BEER_ROWS_B,
+    ITUNES_DISTINCTS,
+    PAPER_TABLE4,
+    beer_catalog,
+    dense_matrix_from_table,
+    generate_microbench_tables,
+    graph_catalog,
+    itunes_catalog,
+    matmul_catalog,
+    reduce_graph,
+    reduced_road_graph,
+    ssb_catalog,
+    synthetic_road_network,
+)
+from repro.datasets.ssb import N_DATES
+
+
+class TestMicrobench:
+    def test_shapes_and_domains(self):
+        a, b = generate_microbench_tables(1000, 32, seed=1)
+        assert a.num_rows == b.num_rows == 1000
+        assert a.stats("id").n_distinct <= 32
+        assert a.stats("id").min_value >= 0
+        assert a.stats("id").max_value < 32
+
+    def test_deterministic(self):
+        a1, _ = generate_microbench_tables(100, 8, seed=7)
+        a2, _ = generate_microbench_tables(100, 8, seed=7)
+        assert a1.rows() == a2.rows()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generate_microbench_tables(0, 4)
+
+
+class TestMatmul:
+    def test_dense_encoding_roundtrip(self):
+        catalog = matmul_catalog(8, seed=3)
+        a = catalog.get("a")
+        assert a.num_rows == 64
+        dense = dense_matrix_from_table(a, 8)
+        assert dense.shape == (8, 8)
+
+    def test_sparse_density(self):
+        catalog = matmul_catalog(16, seed=3, density=0.25)
+        assert catalog.get("a").num_rows == 64  # 16*16*0.25
+
+
+class TestSSB:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return ssb_catalog(scale_factor=1, rows_per_sf=5000, seed=2)
+
+    def test_all_tables_present(self, catalog):
+        for name in ("lineorder", "customer", "supplier", "part", "ddate"):
+            assert catalog.has(name)
+
+    def test_date_dimension(self, catalog):
+        ddate = catalog.get("ddate")
+        assert ddate.num_rows == N_DATES
+        years = ddate.stats("d_year")
+        assert (years.min_value, years.max_value) == (1992, 1998)
+
+    def test_foreign_keys_resolve(self, catalog):
+        lineorder = catalog.get("lineorder")
+        for fk, dim, pk in (
+            ("lo_custkey", "customer", "c_custkey"),
+            ("lo_suppkey", "supplier", "s_suppkey"),
+            ("lo_partkey", "part", "p_partkey"),
+            ("lo_orderdate", "ddate", "d_datekey"),
+        ):
+            fk_values = set(np.unique(lineorder.column(fk).data))
+            pk_values = set(catalog.get(dim).column(pk).data.tolist())
+            assert fk_values <= pk_values, fk
+
+    def test_revenue_consistent_with_discount(self, catalog):
+        lineorder = catalog.get("lineorder").to_dict()
+        expected = (
+            lineorder["lo_extendedprice"] * (100 - lineorder["lo_discount"])
+            // 100
+        )
+        assert np.array_equal(lineorder["lo_revenue"], expected)
+
+    def test_scale_factor_scales_fact_table(self):
+        sf1 = ssb_catalog(1, rows_per_sf=5000, seed=2)
+        sf4 = ssb_catalog(4, rows_per_sf=5000, seed=2)
+        assert catalog_rows(sf4) == pytest.approx(4 * catalog_rows(sf1),
+                                                  rel=0.01)
+
+
+def catalog_rows(catalog):
+    return catalog.get("lineorder").num_rows
+
+
+class TestEM:
+    def test_beer_row_counts(self):
+        catalog = beer_catalog(seed=1)
+        assert catalog.get("table_a").num_rows == BEER_ROWS_A
+        assert catalog.get("table_b").num_rows == BEER_ROWS_B
+
+    def test_beer_distinct_counts_exact(self):
+        # Paper Table 2's cardinalities, over the union of both tables.
+        catalog = beer_catalog(seed=1)
+        a, b = catalog.get("table_a"), catalog.get("table_b")
+        for attribute, target in BEER_DISTINCTS.items():
+            union = np.union1d(a.column(attribute).values(),
+                               b.column(attribute).values())
+            assert union.size == target, attribute
+
+    def test_itunes_distinct_counts_exact(self):
+        catalog = itunes_catalog(seed=1)
+        a, b = catalog.get("table_a"), catalog.get("table_b")
+        for attribute, target in ITUNES_DISTINCTS.items():
+            union = np.union1d(a.column(attribute).values(),
+                               b.column(attribute).values())
+            assert union.size == target, attribute
+
+    def test_scaled_variant_larger(self):
+        small = itunes_catalog(seed=1)
+        scaled = itunes_catalog(seed=1, scaled=True)
+        assert (scaled.get("table_b").num_rows
+                == 2 * small.get("table_b").num_rows)
+
+
+class TestGraphs:
+    def test_road_network_connected_backbone(self):
+        graph = synthetic_road_network(500, seed=1)
+        # Symmetric directed edges.
+        forward = set(zip(graph.src.tolist(), graph.dst.tolist()))
+        assert all((d, s) in forward for s, d in forward)
+        # Degree ratio near the SNAP value.
+        assert 2.0 < graph.edge_node_ratio < 3.5
+
+    def test_reduce_graph_relabels_densely(self):
+        base = synthetic_road_network(1000, seed=2)
+        reduced = reduce_graph(base, 300)
+        assert reduced.n_nodes == 300
+        if reduced.n_edges:
+            assert reduced.src.max() < 300
+            assert reduced.dst.max() < 300
+
+    def test_reduced_sizes_near_paper_table4(self):
+        # Edge counts within 40% of Table 4 and ratios rising with size.
+        ratios = []
+        for size in (1024, 4096, 8192):
+            graph = reduced_road_graph(size, seed=3)
+            paper_edges = PAPER_TABLE4[size]
+            assert graph.n_edges == pytest.approx(paper_edges, rel=0.4)
+            ratios.append(graph.edge_node_ratio)
+        assert ratios[0] < ratios[-1] + 0.5  # roughly non-decreasing
+
+    def test_graph_catalog_tables(self):
+        graph = reduced_road_graph(256, seed=4)
+        catalog = graph_catalog(graph)
+        assert catalog.get("node").num_rows == graph.n_nodes
+        assert catalog.get("edge").num_rows == graph.n_edges

@@ -1,0 +1,251 @@
+"""SQL front end: lexer, parser, binder, planner, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import BindError, LexError, ParseError, PlanError
+from repro.sql import (
+    Aggregate,
+    AggregateCall,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Environment,
+    InList,
+    Join,
+    Limit,
+    Literal,
+    Project,
+    Scan,
+    Sort,
+    TokenType,
+    bind,
+    conjunction_mask,
+    evaluate_expr,
+    parse,
+    plan,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a.b, 1.5 FROM t WHERE x >= 'hi';")
+        kinds = [t.type for t in tokens]
+        assert kinds[-1] == TokenType.END
+        values = [t.value for t in tokens[:-1]]
+        assert "select" in values and "1.5" in values and "hi" in values
+
+    def test_comments_skipped(self):
+        tokens = tokenize("-- a comment\nSELECT x FROM t")
+        assert tokens[0].is_keyword("select")
+
+    def test_doubled_quotes(self):
+        tokens = tokenize("SELECT 'it''s' FROM t")
+        assert any(t.value == "it's" for t in tokens)
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT 'oops FROM t")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b <> c != d >= e")
+        ops = [t.value for t in tokens if t.type == TokenType.OPERATOR]
+        assert ops == ["<=", "<>", "!=", ">="]
+
+    def test_scientific_number(self):
+        tokens = tokenize("SELECT 1.5e3 FROM t")
+        assert any(t.value == "1.5e3" for t in tokens)
+
+
+class TestParser:
+    def test_q1_shape(self):
+        stmt = parse("SELECT A.Val, B.Val FROM A, B WHERE A.ID = B.ID;")
+        assert len(stmt.select_items) == 2
+        assert len(stmt.tables) == 2
+        assert isinstance(stmt.where[0], Comparison)
+
+    def test_aggregates_and_groupby(self):
+        stmt = parse(
+            "SELECT SUM(a.v * b.v) AS s, COUNT(*), AVG(a.v) "
+            "FROM a, b WHERE a.id = b.id GROUP BY b.v"
+        )
+        aggs = stmt.aggregates()
+        assert [a.func for a in aggs] == ["sum", "count", "avg"]
+        assert aggs[1].argument is None
+        assert len(stmt.group_by) == 1
+
+    def test_between_and_in(self):
+        stmt = parse(
+            "SELECT x FROM t WHERE x BETWEEN 1 AND 3 AND y IN ('a', 'b')"
+        )
+        assert isinstance(stmt.where[0], Between)
+        assert isinstance(stmt.where[1], InList)
+        assert [v.value for v in stmt.where[1].values] == ["a", "b"]
+
+    def test_order_by_and_limit(self):
+        stmt = parse("SELECT x FROM t ORDER BY x DESC, y LIMIT 7")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 7
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT a + b * c FROM t")
+        expr = stmt.select_items[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse("SELECT -x FROM t")
+        expr = stmt.select_items[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "-"
+        assert expr.left == Literal(0)
+
+    def test_parameters(self):
+        stmt = parse("SELECT (1 - @alpha) / @n FROM t")
+        text = str(stmt.select_items[0].expr)
+        assert "@alpha" in text and "@n" in text
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.select_star
+
+    def test_table_aliases(self):
+        stmt = parse("SELECT x FROM long_name AS ln, other o")
+        assert stmt.tables[0].binding_name == "ln"
+        assert stmt.tables[1].binding_name == "o"
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse("SELECT FROM t")
+        with pytest.raises(ParseError):
+            parse("SELECT x FROM t WHERE")
+        with pytest.raises(ParseError):
+            parse("SELECT SUM(*) FROM t")  # only COUNT(*) is legal
+        with pytest.raises(ParseError):
+            parse("SELECT x FROM t garbage trailing ,")
+
+
+class TestBinder:
+    def test_resolution_and_joins(self, small_catalog):
+        bound = bind(parse(
+            "SELECT A.Val, B.Val FROM A, B WHERE A.ID = B.ID"
+        ), small_catalog)
+        assert len(bound.join_predicates) == 1
+        predicate = bound.join_predicates[0]
+        assert {predicate.left.binding, predicate.right.binding} == {"a", "b"}
+
+    def test_unqualified_ambiguous(self, small_catalog):
+        with pytest.raises(BindError):
+            bind(parse("SELECT id FROM a, b WHERE a.id = b.id"),
+                 small_catalog)
+
+    def test_unknown_column(self, small_catalog):
+        with pytest.raises(BindError):
+            bind(parse("SELECT a.nope FROM a, b WHERE a.id = b.id"),
+                 small_catalog)
+
+    def test_filters_classified_per_table(self, small_catalog):
+        bound = bind(parse(
+            "SELECT a.val FROM a, b WHERE a.id = b.id AND a.val > 5 "
+            "AND b.val = 'x'"
+        ), small_catalog)
+        assert len(bound.filters["a"]) == 1
+        assert len(bound.filters["b"]) == 1
+
+    def test_parameter_substitution(self, small_catalog):
+        bound = bind(
+            parse("SELECT a.val FROM a, b WHERE a.id = b.id AND a.val < @cut"),
+            small_catalog, params={"cut": 15},
+        )
+        comparison = bound.filters["a"][0]
+        assert comparison.right == Literal(15)
+
+    def test_missing_parameter(self, small_catalog):
+        with pytest.raises(BindError):
+            bind(parse("SELECT a.val FROM a, b WHERE a.id = b.id "
+                       "AND a.val < @cut"), small_catalog)
+
+    def test_select_star_expansion(self, small_catalog):
+        bound = bind(parse("SELECT * FROM a, b WHERE a.id = b.id"),
+                     small_catalog)
+        assert len(bound.select_items) == 4
+
+    def test_nested_aggregates_rejected(self, small_catalog):
+        with pytest.raises(BindError):
+            bind(parse("SELECT SUM(SUM(a.val)) FROM a, b WHERE a.id = b.id"),
+                 small_catalog)
+
+
+class TestPlanner:
+    def test_plan_shape(self, small_catalog):
+        tree = plan(bind(parse(
+            "SELECT SUM(a.val) s, b.val FROM a, b WHERE a.id = b.id "
+            "GROUP BY b.val ORDER BY s LIMIT 2"
+        ), small_catalog))
+        assert isinstance(tree, Limit)
+        assert isinstance(tree.input, Sort)
+        assert isinstance(tree.input.input, Aggregate)
+        join = tree.input.input.input
+        assert isinstance(join, Join)
+        assert isinstance(join.left, Scan) and isinstance(join.right, Scan)
+
+    def test_cross_product_rejected(self, small_catalog):
+        with pytest.raises(PlanError):
+            plan(bind(parse("SELECT a.val, b.val FROM a, b"), small_catalog))
+
+    def test_ungrouped_column_rejected(self, small_catalog):
+        with pytest.raises(PlanError):
+            plan(bind(parse(
+                "SELECT SUM(a.val), a.id FROM a, b WHERE a.id = b.id"
+            ), small_catalog))
+
+    def test_project_for_plain_select(self, small_catalog):
+        tree = plan(bind(parse(
+            "SELECT a.val FROM a, b WHERE a.id = b.id"
+        ), small_catalog))
+        assert isinstance(tree, Project)
+
+
+class TestEval:
+    def test_expression_arithmetic(self, small_catalog):
+        bound = bind(parse(
+            "SELECT a.val * 2 + 1 FROM a, b WHERE a.id = b.id"
+        ), small_catalog)
+        env = Environment.from_table(bound, "a")
+        out = evaluate_expr(bound.select_items[0].expr, env, bound)
+        assert np.allclose(out, np.array([10, 20, 30, 5, 7]) * 2 + 1)
+
+    def test_division_by_zero_yields_nan(self, small_catalog):
+        bound = bind(parse(
+            "SELECT a.val / 0 FROM a, b WHERE a.id = b.id"
+        ), small_catalog)
+        env = Environment.from_table(bound, "a")
+        out = evaluate_expr(bound.select_items[0].expr, env, bound)
+        assert np.all(np.isnan(out))
+
+    def test_string_literal_comparison_uses_dictionary(self, small_catalog):
+        bound = bind(parse(
+            "SELECT b.id FROM a, b WHERE a.id = b.id AND b.val = 'z'"
+        ), small_catalog)
+        env = Environment.from_table(bound, "b")
+        mask = conjunction_mask(bound.filters["b"], env, bound)
+        assert list(mask) == [False, False, True, False]
+
+    def test_in_list_on_strings(self, small_catalog):
+        bound = bind(parse(
+            "SELECT b.id FROM a, b WHERE a.id = b.id AND b.val IN ('x', 'w')"
+        ), small_catalog)
+        env = Environment.from_table(bound, "b")
+        mask = conjunction_mask(bound.filters["b"], env, bound)
+        assert list(mask) == [True, False, False, True]
+
+    def test_between(self, small_catalog):
+        bound = bind(parse(
+            "SELECT a.id FROM a, b WHERE a.id = b.id "
+            "AND a.val BETWEEN 7 AND 20"
+        ), small_catalog)
+        env = Environment.from_table(bound, "a")
+        mask = conjunction_mask(bound.filters["a"], env, bound)
+        assert list(mask) == [True, True, False, False, True]

@@ -1,0 +1,192 @@
+"""Storage layer: columns, dictionaries, tables, statistics, catalog, CSV."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    SchemaError,
+    StorageError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.storage import (
+    Catalog,
+    Column,
+    DataType,
+    StringDictionary,
+    Table,
+    compute_stats,
+    join_output_estimate,
+    read_csv,
+    write_csv,
+)
+
+
+class TestDictionary:
+    def test_encode_decode_roundtrip(self):
+        d = StringDictionary()
+        codes = d.encode(["b", "a", "b", "c"])
+        assert list(codes) == [0, 1, 0, 2]
+        assert list(d.decode(codes)) == ["b", "a", "b", "c"]
+
+    def test_lookup_missing(self):
+        d = StringDictionary(["x"])
+        with pytest.raises(StorageError):
+            d.lookup("y")
+        assert d.contains("x")
+
+    def test_merge_and_remap(self):
+        d1 = StringDictionary(["a", "b"])
+        d2 = StringDictionary(["b", "c"])
+        merged = d1.merged_with(d2)
+        remap = merged.remap_codes(d2)
+        assert merged.decode_one(int(remap[0])) == "b"
+        assert merged.decode_one(int(remap[1])) == "c"
+
+    def test_code_out_of_range(self):
+        d = StringDictionary(["a"])
+        with pytest.raises(StorageError):
+            d.decode_one(5)
+
+
+class TestColumn:
+    def test_type_inference(self):
+        assert Column.from_values([1, 2]).dtype == DataType.INT64
+        assert Column.from_values([1.5]).dtype == DataType.FLOAT64
+        assert Column.from_values(["a"]).dtype == DataType.STRING
+
+    def test_immutability(self):
+        column = Column.from_values([1, 2, 3])
+        with pytest.raises(ValueError):
+            column.data[0] = 9
+
+    def test_string_values_decoded(self):
+        column = Column.from_values(["x", "y", "x"])
+        assert list(column.values()) == ["x", "y", "x"]
+
+    def test_take_and_filter(self):
+        column = Column.from_values([10, 20, 30])
+        assert list(column.take(np.array([2, 0])).data) == [30, 10]
+        assert list(column.filter(np.array([True, False, True])).data) == [10, 30]
+
+    def test_concat_strings_merges_dictionaries(self):
+        a = Column.from_values(["x", "y"])
+        b = Column.from_values(["y", "z"])
+        merged = a.concat(b)
+        assert list(merged.values()) == ["x", "y", "y", "z"]
+
+    def test_concat_type_mismatch(self):
+        with pytest.raises(SchemaError):
+            Column.from_values([1]).concat(Column.from_values(["a"]))
+
+    def test_encode_literal_string(self):
+        column = Column.from_values(["x", "y"])
+        assert column.encode_literal("y") == 1
+        assert column.encode_literal("nope") == -1  # matches nothing
+
+
+class TestTable:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {
+                "a": Column.from_values([1]),
+                "b": Column.from_values([1, 2]),
+            })
+
+    def test_project_and_rename(self, small_catalog):
+        table = small_catalog.get("a")
+        projected = table.project(["val"])
+        assert projected.column_names == ["val"]
+        renamed = table.rename({"val": "value"})
+        assert "value" in renamed.column_names
+
+    def test_filter_take_sort(self):
+        table = Table.from_dict("t", {"x": [3, 1, 2]})
+        assert [r[0] for r in table.sort_by("x").rows()] == [1, 2, 3]
+        assert [r[0] for r in table.sort_by("x", descending=True).rows()] == [3, 2, 1]
+        assert table.filter(np.array([True, False, True])).num_rows == 2
+
+    def test_unknown_column(self):
+        table = Table.from_dict("t", {"x": [1]})
+        with pytest.raises(UnknownColumnError):
+            table.column("y")
+
+    def test_with_column_length_check(self):
+        table = Table.from_dict("t", {"x": [1, 2]})
+        with pytest.raises(SchemaError):
+            table.with_column("y", Column.from_values([1]))
+
+    def test_pretty_renders(self):
+        table = Table.from_dict("t", {"x": [1, 2], "name": ["ab", "c"]})
+        text = table.pretty()
+        assert "x" in text and "ab" in text
+
+    def test_rows_decode_strings(self, small_catalog):
+        rows = small_catalog.get("b").rows()
+        assert rows[0] == (1, "x")
+
+
+class TestStatistics:
+    def test_stats_triple(self):
+        column = Column.from_values([3, 1, 3, 7])
+        stats = compute_stats(column)
+        assert (stats.min_value, stats.max_value) == (1, 7)
+        assert stats.n_distinct == 3
+        assert stats.n_rows == 4
+
+    def test_stats_cached_on_table(self):
+        table = Table.from_dict("t", {"x": [1, 2, 2]})
+        first = table.stats("x")
+        assert table.stats("x") is first
+
+    def test_join_output_estimate(self):
+        left = compute_stats(Column.from_values([1, 1, 2, 2]))
+        right = compute_stats(Column.from_values([1, 2]))
+        assert join_output_estimate(left, right) == pytest.approx(4.0)
+
+    def test_string_stats_over_codes(self):
+        column = Column.from_values(["a", "b", "a"])
+        stats = compute_stats(column)
+        assert stats.n_distinct == 2
+
+
+class TestCatalog:
+    def test_register_lookup_drop(self):
+        catalog = Catalog()
+        catalog.register(Table.from_dict("t", {"x": [1]}))
+        assert catalog.has("T")  # case-insensitive
+        catalog.drop("t")
+        with pytest.raises(UnknownTableError):
+            catalog.get("t")
+
+    def test_duplicate_register(self):
+        catalog = Catalog()
+        catalog.register(Table.from_dict("t", {"x": [1]}))
+        with pytest.raises(SchemaError):
+            catalog.register(Table.from_dict("t", {"x": [2]}))
+        catalog.register(Table.from_dict("t", {"x": [2]}), replace=True)
+        assert catalog.get("t").rows() == [(2,)]
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        table = Table.from_dict("t", {
+            "id": [1, 2], "score": [1.5, 2.5], "name": ["a,b", "c\"d"],
+        })
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back.rows() == table.rows()
+        assert back.dtype("score") == DataType.FLOAT64
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(StorageError):
+            read_csv(path)

@@ -1,0 +1,211 @@
+"""Unit + property tests for COO/CSR/tiled sparse formats."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ReproError
+from repro.tensor.coo import COOMatrix
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.tiled import (
+    TILE,
+    TiledMatrix,
+    count_nonempty_tiles,
+    estimate_nonempty_tiles,
+    tile_pair_count,
+)
+
+
+def random_coo(rng, shape, nnz):
+    rows = rng.integers(0, shape[0], nnz)
+    cols = rng.integers(0, shape[1], nnz)
+    vals = rng.normal(size=nnz)
+    return COOMatrix(rows, cols, vals, shape)
+
+
+class TestCOO:
+    def test_roundtrip_dense(self, rng):
+        coo = random_coo(rng, (13, 17), 40)
+        dense = coo.to_dense()
+        back = COOMatrix.from_dense(dense)
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_sum_duplicates(self):
+        coo = COOMatrix(
+            np.array([0, 0, 1]), np.array([1, 1, 0]),
+            np.array([2.0, 3.0, 4.0]), (2, 2),
+        )
+        deduped = coo.sum_duplicates()
+        assert deduped.nnz == 2
+        assert deduped.to_dense()[0, 1] == 5.0
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ReproError):
+            COOMatrix(np.array([5]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_transpose(self, rng):
+        coo = random_coo(rng, (6, 9), 12)
+        assert np.allclose(coo.transpose().to_dense(), coo.to_dense().T)
+
+    def test_density(self):
+        coo = COOMatrix(np.array([0]), np.array([0]), np.array([1.0]), (2, 2))
+        assert coo.density == 0.25
+
+
+class TestCSR:
+    def test_matches_scipy_construction(self, rng):
+        coo = random_coo(rng, (20, 30), 80).sum_duplicates()
+        ours = CSRMatrix.from_coo(coo)
+        theirs = sp.coo_matrix(
+            (coo.vals, (coo.rows, coo.cols)), shape=coo.shape
+        ).tocsr()
+        assert np.array_equal(ours.indptr, theirs.indptr)
+        assert np.array_equal(ours.indices, theirs.indices)
+        assert np.allclose(ours.data, theirs.data)
+
+    def test_matvec_matches_scipy(self, rng):
+        coo = random_coo(rng, (25, 15), 60)
+        ours = CSRMatrix.from_coo(coo)
+        x = rng.normal(size=15)
+        reference = sp.csr_matrix(ours.to_dense()) @ x
+        assert np.allclose(ours.matvec(x), reference)
+
+    def test_matmul_dense(self, rng):
+        csr = CSRMatrix.from_coo(random_coo(rng, (10, 8), 20))
+        other = rng.normal(size=(8, 6))
+        assert np.allclose(csr.matmul_dense(other), csr.to_dense() @ other)
+
+    def test_spgemm_matches_dense_product(self, rng):
+        a = CSRMatrix.from_coo(random_coo(rng, (12, 9), 25))
+        b = CSRMatrix.from_coo(random_coo(rng, (9, 14), 25))
+        assert np.allclose(
+            a.spgemm(b).to_dense(), a.to_dense() @ b.to_dense()
+        )
+
+    def test_spgemm_flops_counts_work(self, rng):
+        a = CSRMatrix.from_coo(random_coo(rng, (10, 10), 30).sum_duplicates())
+        b = CSRMatrix.from_coo(random_coo(rng, (10, 10), 30).sum_duplicates())
+        flops = a.spgemm_flops(b)
+        # 2 flops per (a_ik, b_kj) pairing.
+        expected = 2 * sum(
+            int(np.sum(b.row_nnz()[a.indices[a.indptr[i]:a.indptr[i + 1]]]))
+            for i in range(a.shape[0])
+        )
+        assert flops == expected
+
+    def test_transpose_roundtrip(self, rng):
+        csr = CSRMatrix.from_coo(random_coo(rng, (7, 11), 18))
+        assert np.allclose(
+            csr.transpose().transpose().to_dense(), csr.to_dense()
+        )
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ReproError):
+            CSRMatrix(np.array([0, 2, 1]), np.array([0]), np.array([1.0]),
+                      (2, 2))
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix(np.zeros(3, dtype=np.int64), np.array([], dtype=np.int64),
+                        np.array([]), (2, 5))
+        assert csr.nnz == 0
+        assert np.allclose(csr.matvec(np.ones(5)), 0)
+
+
+class TestTiled:
+    def test_roundtrip(self, rng):
+        dense = np.zeros((40, 50))
+        dense[3, 7] = 1.5
+        dense[33, 49] = -2.0
+        tiled = TiledMatrix.from_dense(dense)
+        assert np.allclose(tiled.to_dense(), dense)
+        assert tiled.n_tiles == 2
+
+    def test_skips_zero_tiles(self, rng):
+        dense = np.zeros((64, 64))
+        dense[0, 0] = 1  # only one 16x16 tile non-empty
+        tiled = TiledMatrix.from_dense(dense)
+        assert tiled.n_tiles == 1
+        assert tiled.tile_density == 1 / 16
+
+    def test_spmm_matches_dense(self, rng):
+        a_dense = np.zeros((48, 32))
+        b_dense = np.zeros((32, 64))
+        a_dense[rng.integers(0, 48, 30), rng.integers(0, 32, 30)] = (
+            rng.normal(size=30)
+        )
+        b_dense[rng.integers(0, 32, 30), rng.integers(0, 64, 30)] = (
+            rng.normal(size=30)
+        )
+        a = TiledMatrix.from_dense(a_dense)
+        b = TiledMatrix.from_dense(b_dense)
+        result, pairs = a.spmm(b)
+        assert np.allclose(result.to_dense(), a_dense @ b_dense)
+        assert pairs == tile_pair_count(a, b)
+
+    def test_tile_pair_count_zero_when_disjoint(self):
+        a_dense = np.zeros((32, 32))
+        a_dense[0, 0] = 1  # inner block 0
+        b_dense = np.zeros((32, 32))
+        b_dense[16, 0] = 1  # inner block 1
+        a = TiledMatrix.from_dense(a_dense)
+        b = TiledMatrix.from_dense(b_dense)
+        assert tile_pair_count(a, b) == 0
+        result, pairs = a.spmm(b)
+        assert pairs == 0
+        assert result.n_tiles == 0
+
+    def test_count_nonempty_tiles_exact(self, rng):
+        rows = rng.integers(0, 100, 500)
+        cols = rng.integers(0, 100, 500)
+        expected = len({(r // TILE, c // TILE) for r, c in zip(rows, cols)})
+        assert count_nonempty_tiles(rows, cols) == expected
+
+    def test_estimate_nonempty_tiles_bounds(self):
+        estimate = estimate_nonempty_tiles((160, 160), 50)
+        assert 0 < estimate <= 100  # grid is 10x10 tiles
+        assert estimate <= 50  # can't exceed nnz
+
+    def test_incompatible_shapes(self, rng):
+        a = TiledMatrix.from_dense(np.ones((16, 16)))
+        b = TiledMatrix.from_dense(np.ones((32, 16)))
+        with pytest.raises(ReproError):
+            a.spmm(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_rows=st.integers(1, 40),
+    n_cols=st.integers(1, 40),
+    seed=st.integers(0, 10_000),
+)
+def test_property_csr_roundtrip(n_rows, n_cols, seed):
+    """CSR <-> COO <-> dense conversions are lossless."""
+    rng = np.random.default_rng(seed)
+    nnz = int(rng.integers(0, n_rows * n_cols // 2 + 1))
+    coo = random_coo(rng, (n_rows, n_cols), nnz)
+    dense = coo.to_dense()
+    csr = CSRMatrix.from_coo(coo)
+    assert np.allclose(csr.to_dense(), dense)
+    assert np.allclose(csr.to_coo().to_dense(), dense)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    inner=st.integers(1, 50),
+    seed=st.integers(0, 10_000),
+)
+def test_property_tiled_spmm_equals_dense(inner, seed):
+    """Tile-level SpMM equals the dense product for arbitrary sparsity."""
+    rng = np.random.default_rng(seed)
+    m, n = int(rng.integers(1, 50)), int(rng.integers(1, 50))
+    a_dense = np.where(rng.random((m, inner)) < 0.1,
+                       rng.integers(-5, 6, (m, inner)).astype(float), 0.0)
+    b_dense = np.where(rng.random((inner, n)) < 0.1,
+                       rng.integers(-5, 6, (inner, n)).astype(float), 0.0)
+    a = TiledMatrix.from_dense(a_dense)
+    b = TiledMatrix.from_dense(b_dense)
+    result, _ = a.spmm(b)
+    padded = result.to_dense()
+    assert np.allclose(padded[:m, :n], a_dense @ b_dense)

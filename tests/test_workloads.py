@@ -1,0 +1,202 @@
+"""Workload integration tests: SSB 13 queries, PageRank, EM, matmul query."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    beer_catalog,
+    matmul_catalog,
+    reduced_road_graph,
+    ssb_catalog,
+)
+from repro.engine.base import ExecutionMode
+from repro.engine.magiq import MAGiQEngine
+from repro.engine.monetdb import MonetDBEngine
+from repro.engine.tcudb import TCUDBEngine
+from repro.engine.ydb import YDBEngine
+from repro.workloads import (
+    SSB_QUERIES,
+    beer_blocking_query,
+    mape,
+    reference_matrix_product,
+    reference_pagerank,
+    result_as_matrix,
+    run_matmul_query,
+    sql_pagerank,
+)
+
+
+def sorted_rows(result):
+    return sorted(map(tuple, result.require_table().rows()))
+
+
+def rows_approx_equal(got, expected, rel=5e-3):
+    """Multiset comparison tolerant to fp16 rounding in numeric cells.
+
+    Sorting by float columns would scramble row alignment when values
+    differ by rounding, so match each expected row greedily."""
+    assert len(got) == len(expected)
+    remaining = list(got)
+    for e_row in expected:
+        match_index = None
+        for i, g_row in enumerate(remaining):
+            if len(g_row) != len(e_row):
+                continue
+            ok = True
+            for g, e in zip(g_row, e_row):
+                if isinstance(g, str) or isinstance(e, str):
+                    ok = ok and g == e
+                else:
+                    ok = ok and abs(g - e) <= rel * max(abs(e), 1.0)
+            if ok:
+                match_index = i
+                break
+        assert match_index is not None, f"no match for row {e_row}"
+        remaining.pop(match_index)
+
+
+class TestSSBAllQueries:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return ssb_catalog(scale_factor=1, rows_per_sf=8000, seed=17)
+
+    @pytest.fixture(scope="class")
+    def engines(self, catalog):
+        return {
+            "ydb": YDBEngine(catalog),
+            "tcudb": TCUDBEngine(catalog),
+        }
+
+    @pytest.mark.parametrize("query_id", sorted(SSB_QUERIES))
+    def test_tcudb_matches_ydb(self, engines, query_id):
+        """All 13 SSB queries produce identical results on both engines."""
+        ydb = engines["ydb"].execute(SSB_QUERIES[query_id])
+        tcu = engines["tcudb"].execute(SSB_QUERIES[query_id])
+        rows_approx_equal(sorted_rows(tcu), sorted_rows(ydb))
+
+    @pytest.mark.parametrize("query_id", sorted(SSB_QUERIES))
+    def test_tcudb_recognizes_all_13(self, engines, query_id):
+        """Section 5.3: every SSB query matches a TCU pattern.  At this
+        reduced data scale the optimizer may still (correctly) pick the
+        conventional plan for highly selective queries — but a pattern
+        failure would be a bug."""
+        run = engines["tcudb"].execute(SSB_QUERIES[query_id])
+        reason = run.extra.get("fallback_reason")
+        if reason:
+            assert reason.startswith("TCU plan"), (query_id, reason)
+
+    def test_tcudb_wins_every_flight_head(self, engines):
+        for query_id in ("Q1.1", "Q2.1", "Q4.1"):
+            ydb = engines["ydb"].execute(SSB_QUERIES[query_id])
+            tcu = engines["tcudb"].execute(SSB_QUERIES[query_id])
+            assert tcu.seconds < ydb.seconds, query_id
+
+    def test_monetdb_agrees_on_q11(self, catalog, engines):
+        monet = MonetDBEngine(catalog).execute(SSB_QUERIES["Q1.1"])
+        ydb = engines["ydb"].execute(SSB_QUERIES["Q1.1"])
+        rows_approx_equal(sorted_rows(monet), sorted_rows(ydb), rel=1e-9)
+
+
+class TestPageRank:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return reduced_road_graph(512, seed=21)
+
+    def test_sql_pagerank_matches_reference(self, graph):
+        scores, _, iterations = sql_pagerank(
+            lambda catalog: YDBEngine(catalog), graph, iterations=30
+        )
+        reference = reference_pagerank(graph, iterations=30)
+        assert iterations <= 30
+        assert np.allclose(scores, reference, rtol=1e-6, atol=1e-12)
+
+    def test_tcudb_pagerank_matches_reference(self, graph):
+        scores, breakdown, _ = sql_pagerank(
+            lambda catalog: TCUDBEngine(catalog), graph, iterations=30
+        )
+        reference = reference_pagerank(graph, iterations=30)
+        assert np.allclose(scores, reference, rtol=1e-3, atol=1e-9)
+        assert breakdown.get("pr_q3_update") > 0
+
+    def test_magiq_pagerank_matches_reference(self, graph):
+        engine = MAGiQEngine()
+        engine.load_graph(graph.src, graph.dst, graph.n_nodes)
+        output = engine.pagerank(max_iterations=30, tolerance=0.0)
+        reference = reference_pagerank(graph, iterations=30, tolerance=0.0)
+        assert np.allclose(output.scores, reference, rtol=1e-6, atol=1e-12)
+
+    def test_magiq_ranks_agree_with_networkx(self, graph):
+        import networkx as nx
+
+        engine = MAGiQEngine()
+        engine.load_graph(graph.src, graph.dst, graph.n_nodes)
+        ours = engine.pagerank(max_iterations=80).scores
+        g = nx.DiGraph()
+        g.add_nodes_from(range(graph.n_nodes))
+        g.add_edges_from(zip(graph.src.tolist(), graph.dst.tolist()))
+        theirs = nx.pagerank(g, alpha=0.85, max_iter=200)
+        theirs_array = np.array([theirs[i] for i in range(graph.n_nodes)])
+        # networkx redistributes dangling mass, the paper's formulation
+        # does not; rank *ordering* of well-connected nodes still agrees.
+        top_ours = set(np.argsort(ours)[-10:].tolist())
+        top_theirs = set(np.argsort(theirs_array)[-10:].tolist())
+        assert len(top_ours & top_theirs) >= 5
+
+    def test_pr_q3_core_seconds_positive(self, graph):
+        engine = MAGiQEngine()
+        engine.load_graph(graph.src, graph.dst, graph.n_nodes)
+        assert engine.pr_q3_core_seconds() > 0
+
+
+class TestEMBlocking:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return beer_catalog(seed=5)
+
+    def test_blocking_results_match(self, catalog):
+        sql = beer_blocking_query("style")
+        tcu = TCUDBEngine(catalog).execute(sql)
+        ydb = YDBEngine(catalog).execute(sql)
+        assert tcu.n_rows == ydb.n_rows
+        assert sorted_rows(tcu) == sorted_rows(ydb)
+
+    def test_low_cardinality_attribute_blocks_aggressively(self, catalog):
+        abv = YDBEngine(catalog, mode=ExecutionMode.ANALYTIC).execute(
+            beer_blocking_query("abv")
+        )
+        name = YDBEngine(catalog, mode=ExecutionMode.ANALYTIC).execute(
+            beer_blocking_query("beer_name")
+        )
+        # Fewer distinct values -> far more candidate pairs.
+        assert abv.n_rows > 10 * name.n_rows
+
+    def test_tcudb_speedup_on_low_cardinality(self, catalog):
+        sql = beer_blocking_query("abv")
+        tcu = TCUDBEngine(catalog, mode=ExecutionMode.ANALYTIC).execute(sql)
+        ydb = YDBEngine(catalog, mode=ExecutionMode.ANALYTIC).execute(sql)
+        assert ydb.seconds / tcu.seconds > 5  # paper reports up to 33x
+
+
+class TestMatmulQuery:
+    def test_result_equals_numpy_product(self):
+        catalog = matmul_catalog(24, seed=6)
+        run = run_matmul_query(TCUDBEngine(catalog))
+        got = result_as_matrix(run, 24)
+        reference = reference_matrix_product(catalog, 24)
+        assert np.allclose(got, reference)  # 0/1 values: exact
+
+    def test_engines_agree(self):
+        catalog = matmul_catalog(16, seed=7, value_low=0, value_high=5)
+        tcu = result_as_matrix(run_matmul_query(TCUDBEngine(catalog)), 16)
+        ydb = result_as_matrix(run_matmul_query(YDBEngine(catalog)), 16)
+        assert np.allclose(tcu, ydb, rtol=1e-3)
+
+    def test_mape_metric(self):
+        reference = np.array([[2.0, 2.0]])
+        assert mape(reference, reference) == 0.0
+        assert mape(np.array([[2.2, 1.8]]), reference) == pytest.approx(0.1)
+
+    def test_mape_zero_reference(self):
+        zeros = np.zeros((2, 2))
+        assert mape(zeros, zeros) == 0.0
+        assert mape(np.ones((2, 2)), zeros) == float("inf")
