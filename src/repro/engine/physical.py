@@ -1,0 +1,543 @@
+"""General vectorized physical-plan executor and shared NumPy kernels.
+
+This module is the execution backbone of the repo:
+
+* the join / group-by kernels every engine uses live here (they are
+  re-exported by :mod:`repro.engine.relational` for the cost-charging
+  baseline executors);
+* :class:`PhysicalExecutor` interprets the *full* logical algebra from
+  :mod:`repro.sql.logical` — Scan, Join, Filter, Aggregate (with HAVING
+  and MIN/MAX), Project, Sort, Limit — with pure NumPy semantics and no
+  cost model, which is what makes it suitable as a correctness oracle
+  (see :class:`repro.engine.reference.ReferenceEngine`);
+* the shared output helpers (:func:`resolve_output_index`,
+  :func:`apply_order_limit`, :func:`build_result_table`) centralize
+  ORDER BY/LIMIT and result-table semantics so TCUDB, the baselines and
+  the oracle cannot drift apart on ordering or result typing.
+
+ORDER BY on dictionary-encoded string columns sorts by *decoded* values
+(lexicographic), not by dictionary codes, in every engine that routes
+through these helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import BindError, ExecutionError
+from repro.sql.ast_nodes import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    Literal,
+    Predicate,
+    SelectItem,
+)
+from repro.sql.binder import BoundColumn, BoundQuery
+from repro.sql.eval import (
+    Environment,
+    conjunction_mask,
+    encode_literal,
+    evaluate_expr,
+    predicate_mask,
+)
+from repro.sql.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalNode,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+# --------------------------------------------------------------------------- #
+# Join kernels (shared by every engine; re-exported from engine.relational)
+# --------------------------------------------------------------------------- #
+
+
+def equi_join_indices(
+    left_keys: np.ndarray, right_keys: np.ndarray,
+    pair_limit: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matching (left_index, right_index) pairs of an equi join.
+
+    With ``pair_limit``, the (cheaply computed) pair count is checked
+    before materialization, so callers need no separate counting pass.
+    """
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+    starts = np.searchsorted(sorted_right, left_keys, side="left")
+    ends = np.searchsorted(sorted_right, left_keys, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if pair_limit is not None and total > pair_limit:
+        raise ExecutionError(
+            f"equi join would materialize {total} pairs (> {pair_limit})"
+        )
+    left_idx = np.repeat(np.arange(left_keys.size), counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    right_idx = order[np.repeat(starts, counts) + offsets]
+    return left_idx, right_idx
+
+
+def equi_join_count(left_keys: np.ndarray, right_keys: np.ndarray) -> int:
+    """Exact matching-pair count without materializing the pairs."""
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+    starts = np.searchsorted(sorted_right, left_keys, side="left")
+    ends = np.searchsorted(sorted_right, left_keys, side="right")
+    return int((ends - starts).sum())
+
+
+# searchsorted side per operator: for "left op right" we count, per left
+# key, the right keys satisfying the comparison in the sorted right array.
+# "<" needs right keys strictly greater (insertion point from the right),
+# "<=" needs right keys >= (insertion point from the left), and mirrored
+# for ">" / ">=".
+_NONEQUI_SIDES = {
+    "<": "right",
+    "<=": "left",
+    ">": "left",
+    ">=": "right",
+}
+
+
+def nonequi_join_count(
+    left_keys: np.ndarray, right_keys: np.ndarray, op: str
+) -> int:
+    """Exact pair count for <, <=, >, >=, != joins via sorted counting."""
+    sorted_right = np.sort(right_keys)
+    m = sorted_right.size
+    if op in ("<", "<="):
+        side = _NONEQUI_SIDES[op]
+        positions = np.searchsorted(sorted_right, left_keys, side=side)
+        return int((m - positions).sum())
+    if op in (">", ">="):
+        side = _NONEQUI_SIDES[op]
+        positions = np.searchsorted(sorted_right, left_keys, side=side)
+        return int(positions.sum())
+    if op in ("<>", "!="):
+        equal = equi_join_count(left_keys, right_keys)
+        return int(left_keys.size) * m - equal
+    raise ExecutionError(f"unsupported join operator {op!r}")
+
+
+def nonequi_join_indices(
+    left_keys: np.ndarray, right_keys: np.ndarray, op: str,
+    pair_limit: int = 50_000_000,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize non-equi join pairs (bounded by ``pair_limit``)."""
+    pairs = nonequi_join_count(left_keys, right_keys, op)
+    if pairs > pair_limit:
+        raise ExecutionError(
+            f"non-equi join would materialize {pairs} pairs (> {pair_limit})"
+        )
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+    m = sorted_right.size
+    if op in ("<", "<=", ">", ">="):
+        side = _NONEQUI_SIDES[op]
+        positions = np.searchsorted(sorted_right, left_keys, side=side)
+        if op in ("<", "<="):
+            counts = m - positions
+            starts = positions
+        else:
+            counts = positions
+            starts = np.zeros_like(positions)
+        total = int(counts.sum())
+        left_idx = np.repeat(np.arange(left_keys.size), counts)
+        offsets = (
+            np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        )
+        right_idx = order[np.repeat(starts, counts) + offsets]
+        return left_idx, right_idx
+    if op in ("<>", "!="):
+        left_idx_all = np.repeat(np.arange(left_keys.size), m)
+        right_idx_all = np.tile(np.arange(m), left_keys.size)
+        keep = left_keys[left_idx_all] != right_keys[right_idx_all]
+        return left_idx_all[keep], right_idx_all[keep]
+    raise ExecutionError(f"unsupported join operator {op!r}")
+
+
+def combine_group_codes(arrays: list[np.ndarray]) -> np.ndarray:
+    """Collapse multiple key arrays into one composite code per row."""
+    if not arrays:
+        raise ExecutionError("group-by requires at least one key")
+    combined = np.zeros(arrays[0].size, dtype=np.int64)
+    for array in arrays:
+        _, codes = np.unique(array, return_inverse=True)
+        span = int(codes.max()) + 1 if codes.size else 1
+        combined = combined * span + codes
+    return combined
+
+
+def group_aggregate(
+    call: AggregateCall, env: Environment, bound: BoundQuery,
+    group_ids: np.ndarray, n_groups: int,
+) -> np.ndarray:
+    """Evaluate one SUM/COUNT/AVG/MIN/MAX call per group."""
+    if call.argument is None:  # COUNT(*)
+        return np.bincount(group_ids, minlength=n_groups).astype(np.float64)
+    values = evaluate_expr(call.argument, env, bound).astype(np.float64)
+    if call.func == "count":
+        return np.bincount(group_ids, minlength=n_groups).astype(np.float64)
+    if call.func == "sum":
+        return np.bincount(group_ids, weights=values, minlength=n_groups)
+    if call.func == "avg":
+        sums = np.bincount(group_ids, weights=values, minlength=n_groups)
+        counts = np.bincount(group_ids, minlength=n_groups)
+        return sums / np.maximum(counts, 1)
+    if call.func == "min":
+        out = np.full(n_groups, np.inf)
+        np.minimum.at(out, group_ids, values)
+        return out
+    if call.func == "max":
+        out = np.full(n_groups, -np.inf)
+        np.maximum.at(out, group_ids, values)
+        return out
+    raise ExecutionError(f"unsupported aggregate {call.func!r}")
+
+
+_ARITH_OPS = {
+    "+": np.add, "-": np.subtract, "*": np.multiply,
+    "/": np.divide, "%": np.mod,
+}
+
+
+class GroupContext:
+    """Per-group evaluation of expressions and HAVING predicates.
+
+    Wraps one grouped relation: ``group_ids`` assigns each input row to a
+    group, ``representatives`` holds one input row index per group (for
+    group-key columns).  Expressions evaluate to one value per group.
+    """
+
+    def __init__(
+        self,
+        bound: BoundQuery,
+        env: Environment,
+        group_ids: np.ndarray,
+        n_groups: int,
+        representatives: np.ndarray,
+        group_by: list[BoundColumn],
+    ):
+        self.bound = bound
+        self.env = env
+        self.group_ids = group_ids
+        self.n_groups = n_groups
+        self.representatives = representatives
+        self.group_keys = {c.key for c in group_by}
+
+    # -- expressions ---------------------------------------------------- #
+
+    def eval_expr(self, expr: Expr) -> np.ndarray:
+        if isinstance(expr, AggregateCall):
+            return group_aggregate(expr, self.env, self.bound,
+                                   self.group_ids, self.n_groups)
+        if isinstance(expr, Literal):
+            return np.full(self.n_groups, expr.value)
+        if isinstance(expr, ColumnRef):
+            key = self.bound.resolve(expr).key
+            if key not in self.group_keys:
+                raise ExecutionError(f"non-grouped column {key} in select")
+            return self.env.lookup(key)[self.representatives]
+        if isinstance(expr, BinaryOp):
+            left = self.eval_expr(expr.left)
+            right = self.eval_expr(expr.right)
+            op = _ARITH_OPS.get(expr.op)
+            if op is None:
+                raise ExecutionError(
+                    f"unsupported arithmetic operator {expr.op!r}"
+                )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return op(
+                    np.asarray(left, dtype=np.float64),
+                    np.asarray(right, dtype=np.float64),
+                )
+        raise ExecutionError(
+            f"unsupported aggregate-context expression {expr!r}"
+        )
+
+    # -- HAVING predicates ---------------------------------------------- #
+
+    def eval_predicate(self, predicate: Predicate) -> np.ndarray:
+        # Same interpreter as WHERE evaluation, with per-group leaves.
+        return predicate_mask(
+            predicate,
+            self.n_groups,
+            self.eval_expr,
+            lambda ref, value: encode_literal(self.bound, ref, value),
+        )
+
+    def having_mask(self, predicates: list[Predicate]) -> np.ndarray:
+        mask = np.ones(self.n_groups, dtype=bool)
+        for predicate in predicates:
+            mask &= self.eval_predicate(predicate)
+        return mask
+
+
+def build_group_context(
+    bound: BoundQuery, env: Environment, group_by: list[BoundColumn]
+) -> GroupContext:
+    """Assign group ids over an environment (one global group if no keys)."""
+    if group_by:
+        key_arrays = [env.lookup(c.key) for c in group_by]
+        combined = combine_group_codes(key_arrays)
+        unique_codes, group_ids = np.unique(combined, return_inverse=True)
+        n_groups = int(unique_codes.size)
+        representatives = np.zeros(n_groups, dtype=np.int64)
+        representatives[group_ids] = np.arange(group_ids.size)
+    else:
+        group_ids = np.zeros(env.n_rows, dtype=np.int64)
+        n_groups = 1 if env.n_rows else 0
+        representatives = np.zeros(max(n_groups, 1), dtype=np.int64)
+    return GroupContext(bound, env, group_ids, n_groups, representatives,
+                        group_by)
+
+
+# --------------------------------------------------------------------------- #
+# Output helpers: ORDER BY / LIMIT resolution and result-table assembly
+# --------------------------------------------------------------------------- #
+
+
+def resolve_output_index(
+    bound: BoundQuery,
+    expr: Expr,
+    names: list[str],
+    items: list[SelectItem] | None = None,
+) -> int | None:
+    """Index of the output column an ORDER BY key refers to (or None).
+
+    Resolution order: bare select-list alias/name, resolved column key
+    against plain-column select items, output-name match, stringified
+    expression against output names and select expressions (so ``ORDER BY
+    SUM(x)`` finds ``SUM(x) AS total``).
+    """
+    items = list(items) if items is not None else list(bound.select_items)
+    by_name = {name.lower(): i for i, name in enumerate(names)}
+    if isinstance(expr, ColumnRef):
+        if expr.table is None and expr.column in by_name:
+            return by_name[expr.column]
+        try:
+            key = bound.resolve(expr).key
+        except BindError:
+            key = None  # select-list alias, not a table column
+        if key is not None:
+            for i, item in enumerate(items):
+                if isinstance(item.expr, ColumnRef):
+                    try:
+                        if bound.resolve(item.expr).key == key:
+                            return i
+                    except BindError:
+                        continue
+            for i, name in enumerate(names):
+                if name.lower() in (key, expr.column):
+                    return i
+    text = str(expr).lower()
+    if text in by_name:
+        return by_name[text]
+    for i, item in enumerate(items):
+        if str(item.expr).lower() == text:
+            return i
+    return None
+
+
+def sort_key_array(
+    bound: BoundQuery, item: SelectItem | None, array: np.ndarray
+) -> np.ndarray:
+    """The array to argsort for one ORDER BY key.
+
+    String outputs are decoded through their dictionary so ordering is
+    lexicographic rather than dictionary-code order.
+    """
+    array = np.asarray(array)
+    if item is not None and isinstance(item.expr, ColumnRef):
+        try:
+            resolved = bound.resolve(item.expr)
+        except BindError:
+            return array
+        if resolved.dtype == DataType.STRING:
+            source = bound.binding(resolved.binding).table.column(
+                resolved.column
+            )
+            if source.dictionary is not None:
+                return source.dictionary.decode(
+                    np.asarray(array, dtype=np.int64)
+                )
+    return array
+
+
+def apply_order_limit(
+    bound: BoundQuery,
+    arrays: list[np.ndarray],
+    names: list[str],
+    items: list[SelectItem] | None = None,
+) -> list[np.ndarray]:
+    """Apply the query's ORDER BY and LIMIT to materialized output arrays.
+
+    Unresolvable ORDER BY keys raise: silently skipping a key reorders
+    LIMIT results (the historical `_order_index` bug).
+    """
+    items = list(items) if items is not None else list(bound.select_items)
+    if bound.order_by and arrays:
+        order = np.arange(np.asarray(arrays[0]).size)
+        for order_item in reversed(bound.order_by):
+            index = resolve_output_index(bound, order_item.expr, names, items)
+            if index is None:
+                raise ExecutionError(
+                    f"ORDER BY key {order_item.expr} not in select list"
+                )
+            item = items[index] if index < len(items) else None
+            keys = sort_key_array(bound, item, arrays[index])[order]
+            positions = np.argsort(keys, kind="stable")
+            if order_item.descending:
+                positions = positions[::-1]
+            order = order[positions]
+        arrays = [np.asarray(a)[order] for a in arrays]
+    if bound.limit is not None:
+        arrays = [np.asarray(a)[: bound.limit] for a in arrays]
+    return arrays
+
+
+def make_output_column(
+    bound: BoundQuery, expr: Expr | None, array: np.ndarray
+) -> Column:
+    """Type one output array, preserving string dictionaries and int64."""
+    if isinstance(expr, ColumnRef):
+        resolved = bound.resolve(expr)
+        if resolved.dtype == DataType.STRING:
+            source = bound.binding(resolved.binding).table.column(
+                resolved.column
+            )
+            return Column(array.astype(np.int64), DataType.STRING,
+                          source.dictionary)
+        if resolved.dtype == DataType.INT64:
+            return Column(array.astype(np.int64), DataType.INT64)
+    if array.dtype.kind in ("i", "u"):
+        return Column(array.astype(np.int64), DataType.INT64)
+    return Column(array.astype(np.float64), DataType.FLOAT64)
+
+
+def build_result_table(
+    bound: BoundQuery,
+    arrays: list[np.ndarray],
+    names: list[str],
+    items: list[SelectItem] | None = None,
+) -> Table:
+    """Assemble output arrays into a result table with unique column names."""
+    items = list(items) if items is not None else list(bound.select_items)
+    item_exprs: dict[str, Expr | None] = {name: None for name in names}
+    for item, name in zip(items, names):
+        item_exprs[name] = item.expr
+    columns: dict[str, Column] = {}
+    for array, name in zip(arrays, names):
+        expr = item_exprs.get(name)
+        column = make_output_column(bound, expr, np.asarray(array))
+        unique_name = name
+        suffix = 1
+        while unique_name in columns:
+            suffix += 1
+            unique_name = f"{name}_{suffix}"
+        columns[unique_name] = column
+    return Table("result", columns)
+
+
+# --------------------------------------------------------------------------- #
+# The general physical executor
+# --------------------------------------------------------------------------- #
+
+
+class PhysicalExecutor:
+    """Interpret a logical plan tree with pure NumPy kernels.
+
+    Fully materializing and cost-free: every operator computes exact
+    results.  ``pair_limit`` bounds join materialization so runaway
+    fuzzed queries fail loudly instead of exhausting memory.
+    """
+
+    def __init__(self, bound: BoundQuery, pair_limit: int = 20_000_000):
+        self.bound = bound
+        self.pair_limit = pair_limit
+
+    # -- relational operators (return environments) ---------------------- #
+
+    def _run_relation(self, node: LogicalNode) -> Environment:
+        if isinstance(node, Scan):
+            env = Environment.from_table(self.bound, node.binding)
+            if node.filters:
+                env = env.filtered(
+                    conjunction_mask(node.filters, env, self.bound)
+                )
+            return env
+        if isinstance(node, Join):
+            return self._run_join(node)
+        if isinstance(node, Filter):
+            env = self._run_relation(node.input)
+            return env.filtered(
+                conjunction_mask(node.predicates, env, self.bound)
+            )
+        raise ExecutionError(f"unexpected relational node {node!r}")
+
+    def _run_join(self, node: Join) -> Environment:
+        left = self._run_relation(node.left)
+        right = self._run_relation(node.right)
+        predicate = node.predicate
+        left_keys = left.lookup(predicate.left.key)
+        right_keys = right.lookup(predicate.right.key)
+        if predicate.is_equi:
+            left_idx, right_idx = equi_join_indices(
+                left_keys, right_keys, pair_limit=self.pair_limit
+            )
+        else:
+            left_idx, right_idx = nonequi_join_indices(
+                left_keys, right_keys, predicate.op,
+                pair_limit=self.pair_limit,
+            )
+        merged = dict(left.taken(left_idx).arrays)
+        merged.update(right.taken(right_idx).arrays)
+        return Environment(merged, int(left_idx.size))
+
+    # -- projection operators (return output arrays) --------------------- #
+
+    def _run_aggregate(
+        self, node: Aggregate
+    ) -> tuple[list[np.ndarray], list[str]]:
+        env = self._run_relation(node.input)
+        names = [item.output_name for item in node.items]
+        context = build_group_context(self.bound, env, node.group_by)
+        if context.n_groups == 0:
+            return [np.array([]) for _ in node.items], names
+        arrays = [context.eval_expr(item.expr) for item in node.items]
+        if node.having:
+            mask = context.having_mask(node.having)
+            arrays = [np.asarray(a)[mask] for a in arrays]
+        return arrays, names
+
+    def _run_output(self, node: LogicalNode) -> tuple[list[np.ndarray], list[str]]:
+        if isinstance(node, Aggregate):
+            return self._run_aggregate(node)
+        if isinstance(node, Project):
+            env = self._run_relation(node.input)
+            names = [item.output_name for item in node.items]
+            arrays = [
+                evaluate_expr(item.expr, env, self.bound)
+                for item in node.items
+            ]
+            return arrays, names
+        if isinstance(node, (Sort, Limit)):
+            # Sorting and limiting are applied once at the top via
+            # apply_order_limit (bound carries the keys and count).
+            return self._run_output(node.input)
+        raise ExecutionError(f"unknown plan node {node!r}")
+
+    def run(self, tree: LogicalNode) -> tuple[list[np.ndarray], list[str]]:
+        """Execute the plan; returns fully ordered/limited output arrays."""
+        arrays, names = self._run_output(tree)
+        arrays = apply_order_limit(self.bound, arrays, names)
+        return arrays, names

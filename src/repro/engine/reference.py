@@ -1,0 +1,52 @@
+"""Reference oracle engine: pure-NumPy, cost-free, fully general.
+
+TCUDB's core claim is that matmul-encoded plans return the *same
+answers* as a conventional engine.  The :class:`ReferenceEngine` is the
+independent arbiter of "same answers": it interprets the logical plan
+with :class:`~repro.engine.physical.PhysicalExecutor` — no cost model,
+no pattern matching, no precision tricks — so the differential and fuzz
+test suites can compare every engine against it.
+"""
+
+from __future__ import annotations
+
+from repro.common.timing import TimingBreakdown
+from repro.engine.base import Engine, ExecutionMode, QueryResult
+from repro.engine.physical import PhysicalExecutor, build_result_table
+from repro.sql.binder import BoundQuery
+from repro.sql.logical import explain
+from repro.sql.planner import plan
+from repro.storage.catalog import Catalog
+
+
+class ReferenceEngine(Engine):
+    """The trusted correctness oracle (always REAL-mode, no simulated cost)."""
+
+    name = "Reference"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        mode: ExecutionMode = ExecutionMode.REAL,
+        pair_limit: int = 20_000_000,
+    ):
+        # The oracle always materializes; ANALYTIC mode has no meaning here.
+        super().__init__(catalog, ExecutionMode.REAL)
+        self.pair_limit = pair_limit
+
+    def execute_bound(self, bound: BoundQuery) -> QueryResult:
+        tree = plan(bound)
+        executor = PhysicalExecutor(bound, pair_limit=self.pair_limit)
+        arrays, names = executor.run(tree)
+        table = build_result_table(bound, arrays, names)
+        return QueryResult(
+            engine=self.name,
+            n_rows=table.num_rows,
+            breakdown=TimingBreakdown(),
+            table=table,
+            plan_description=explain(tree),
+            extra={"oracle": True},
+        )
+
+
+__all__ = ["ReferenceEngine"]

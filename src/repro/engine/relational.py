@@ -1,8 +1,10 @@
 """Relational plan executor for the baseline engines.
 
 Interprets the logical plan with vectorized numpy operators while charging
-simulated time through a cost model (GPU for YDB, CPU for MonetDB).  In
-ANALYTIC mode, join outputs larger than ``materialize_limit`` are not
+simulated time through a cost model (GPU for YDB, CPU for MonetDB).  The
+NumPy kernels themselves live in :mod:`repro.engine.physical` (shared
+with the Reference oracle) and are re-exported here for compatibility.
+In ANALYTIC mode, join outputs larger than ``materialize_limit`` are not
 materialized: the executor still computes the *exact* matching-pair count
 (a cheap sort/searchsorted pass) and estimates downstream cardinalities
 from statistics, so paper-scale configurations finish instantly while the
@@ -17,18 +19,11 @@ import numpy as np
 
 from repro.common.errors import ExecutionError
 from repro.common.timing import TimingBreakdown
-from repro.sql.ast_nodes import (
-    AggregateCall,
-    BinaryOp,
-    ColumnRef,
-    Expr,
-    Literal,
-    SelectItem,
-)
 from repro.sql.binder import BoundColumn, BoundQuery
 from repro.sql.eval import Environment, conjunction_mask, evaluate_expr
 from repro.sql.logical import (
     Aggregate,
+    Filter,
     Join,
     Limit,
     LogicalNode,
@@ -37,11 +32,20 @@ from repro.sql.logical import (
     Sort,
 )
 from repro.sql.planner import plan
-from repro.storage.column import Column
 from repro.storage.table import Table
-from repro.storage.types import DataType
 
 from repro.engine.base import Engine, ExecutionMode, QueryResult
+from repro.engine.physical import (  # noqa: F401  (re-exported kernels)
+    build_group_context,
+    build_result_table,
+    combine_group_codes,
+    equi_join_count,
+    equi_join_indices,
+    nonequi_join_count,
+    nonequi_join_indices,
+    resolve_output_index,
+    sort_key_array,
+)
 
 
 @dataclass
@@ -54,113 +58,6 @@ class OpOutput:
     @property
     def materialized(self) -> bool:
         return self.env is not None
-
-
-def equi_join_indices(
-    left_keys: np.ndarray, right_keys: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Matching (left_index, right_index) pairs of an equi join."""
-    order = np.argsort(right_keys, kind="stable")
-    sorted_right = right_keys[order]
-    starts = np.searchsorted(sorted_right, left_keys, side="left")
-    ends = np.searchsorted(sorted_right, left_keys, side="right")
-    counts = ends - starts
-    total = int(counts.sum())
-    left_idx = np.repeat(np.arange(left_keys.size), counts)
-    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
-    right_idx = order[np.repeat(starts, counts) + offsets]
-    return left_idx, right_idx
-
-
-def equi_join_count(left_keys: np.ndarray, right_keys: np.ndarray) -> int:
-    """Exact matching-pair count without materializing the pairs."""
-    order = np.argsort(right_keys, kind="stable")
-    sorted_right = right_keys[order]
-    starts = np.searchsorted(sorted_right, left_keys, side="left")
-    ends = np.searchsorted(sorted_right, left_keys, side="right")
-    return int((ends - starts).sum())
-
-
-# searchsorted side per operator: for "left op right" we count, per left
-# key, the right keys satisfying the comparison in the sorted right array.
-# "<" needs right keys strictly greater (insertion point from the right),
-# "<=" needs right keys >= (insertion point from the left), and mirrored
-# for ">" / ">=".
-_NONEQUI_SIDES = {
-    "<": "right",
-    "<=": "left",
-    ">": "left",
-    ">=": "right",
-}
-
-
-def nonequi_join_count(
-    left_keys: np.ndarray, right_keys: np.ndarray, op: str
-) -> int:
-    """Exact pair count for <, <=, >, >=, != joins via sorted counting."""
-    sorted_right = np.sort(right_keys)
-    m = sorted_right.size
-    if op in ("<", "<="):
-        side = _NONEQUI_SIDES[op]
-        positions = np.searchsorted(sorted_right, left_keys, side=side)
-        return int((m - positions).sum())
-    if op in (">", ">="):
-        side = _NONEQUI_SIDES[op]
-        positions = np.searchsorted(sorted_right, left_keys, side=side)
-        return int(positions.sum())
-    if op in ("<>", "!="):
-        equal = equi_join_count(left_keys, right_keys)
-        return int(left_keys.size) * m - equal
-    raise ExecutionError(f"unsupported join operator {op!r}")
-
-
-def nonequi_join_indices(
-    left_keys: np.ndarray, right_keys: np.ndarray, op: str,
-    pair_limit: int = 50_000_000,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Materialize non-equi join pairs (bounded by ``pair_limit``)."""
-    pairs = nonequi_join_count(left_keys, right_keys, op)
-    if pairs > pair_limit:
-        raise ExecutionError(
-            f"non-equi join would materialize {pairs} pairs (> {pair_limit})"
-        )
-    order = np.argsort(right_keys, kind="stable")
-    sorted_right = right_keys[order]
-    m = sorted_right.size
-    if op in ("<", "<=", ">", ">="):
-        side = _NONEQUI_SIDES[op]
-        positions = np.searchsorted(sorted_right, left_keys, side=side)
-        if op in ("<", "<="):
-            counts = m - positions
-            starts = positions
-        else:
-            counts = positions
-            starts = np.zeros_like(positions)
-        total = int(counts.sum())
-        left_idx = np.repeat(np.arange(left_keys.size), counts)
-        offsets = (
-            np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
-        )
-        right_idx = order[np.repeat(starts, counts) + offsets]
-        return left_idx, right_idx
-    if op in ("<>", "!="):
-        left_idx_all = np.repeat(np.arange(left_keys.size), m)
-        right_idx_all = np.tile(np.arange(m), left_keys.size)
-        keep = left_keys[left_idx_all] != right_keys[right_idx_all]
-        return left_idx_all[keep], right_idx_all[keep]
-    raise ExecutionError(f"unsupported join operator {op!r}")
-
-
-def combine_group_codes(arrays: list[np.ndarray]) -> np.ndarray:
-    """Collapse multiple key arrays into one composite code per row."""
-    if not arrays:
-        raise ExecutionError("group-by requires at least one key")
-    combined = np.zeros(arrays[0].size, dtype=np.int64)
-    for array in arrays:
-        _, codes = np.unique(array, return_inverse=True)
-        span = int(codes.max()) + 1 if codes.size else 1
-        combined = combined * span + codes
-    return combined
 
 
 class RelationalExecutor(Engine):
@@ -217,6 +114,9 @@ class RelationalExecutor(Engine):
         if isinstance(node, Join):
             out = self._run_join(node, bound, breakdown)
             return out, None, None
+        if isinstance(node, Filter):
+            out = self._run_filter(node, bound, breakdown)
+            return out, None, None
         if isinstance(node, Aggregate):
             return self._run_aggregate(node, bound, breakdown)
         if isinstance(node, Project):
@@ -268,6 +168,23 @@ class RelationalExecutor(Engine):
                 breakdown.add(stage, seconds)
             mask = conjunction_mask(node.filters, env, bound)
             env = env.filtered(mask)
+        return OpOutput(env=env, n_rows=env.n_rows)
+
+    # -- residual filters -------------------------------------------------------- #
+
+    def _run_filter(self, node: Filter, bound: BoundQuery,
+                    breakdown: TimingBreakdown) -> OpOutput:
+        source = self._run_relation(node.input, bound, breakdown)
+        for stage, seconds in self.cost_model.scan(
+            source.n_rows, len(node.predicates)
+        ):
+            breakdown.add(stage, seconds)
+        if not source.materialized:
+            # Unmaterialized input: estimate half selectivity per conjunct.
+            n = int(source.n_rows * 0.5 ** len(node.predicates))
+            return OpOutput(env=None, n_rows=n)
+        mask = conjunction_mask(node.predicates, source.env, bound)
+        env = source.env.filtered(mask)
         return OpOutput(env=env, n_rows=env.n_rows)
 
     # -- joins ------------------------------------------------------------------------ #
@@ -344,6 +261,7 @@ class RelationalExecutor(Engine):
         fused = self._last_join_fused
         self._last_join_fused = False
         grouped = bool(node.group_by)
+        names = [item.output_name for item in node.items]
         if not source.materialized:
             n_groups = self._estimate_groups(bound, node.group_by, source.n_rows)
             agg_input = n_groups if fused else source.n_rows
@@ -351,34 +269,25 @@ class RelationalExecutor(Engine):
                 agg_input, n_groups, grouped
             ):
                 breakdown.add(stage, seconds)
-            names = [item.output_name for item in node.items]
+            if node.having:
+                # Estimate half selectivity per HAVING conjunct.
+                n_groups = int(n_groups * 0.5 ** len(node.having))
             return OpOutput(env=None, n_rows=n_groups), None, names
         env = source.env
-        if grouped:
-            key_arrays = [env.lookup(c.key) for c in node.group_by]
-            combined = combine_group_codes(key_arrays)
-            unique_codes, group_ids = np.unique(combined, return_inverse=True)
-            n_groups = int(unique_codes.size)
-            representatives = np.zeros(n_groups, dtype=np.int64)
-            representatives[group_ids] = np.arange(group_ids.size)
-        else:
-            group_ids = np.zeros(env.n_rows, dtype=np.int64)
-            n_groups = 1 if env.n_rows else 0
-            representatives = np.zeros(max(n_groups, 1), dtype=np.int64)
+        context = build_group_context(bound, env, node.group_by)
+        n_groups = context.n_groups
         for stage, seconds in self.cost_model.groupby(
             source.n_rows, n_groups, grouped
         ):
             breakdown.add(stage, seconds)
         if n_groups == 0:
             arrays = [np.array([]) for _ in node.items]
-            names = [item.output_name for item in node.items]
             return OpOutput(env=None, n_rows=0), arrays, names
-        arrays = [
-            self._eval_agg_expr(item.expr, env, bound, group_ids, n_groups,
-                                representatives, node.group_by)
-            for item in node.items
-        ]
-        names = [item.output_name for item in node.items]
+        arrays = [context.eval_expr(item.expr) for item in node.items]
+        if node.having:
+            mask = context.having_mask(node.having)
+            arrays = [np.asarray(a)[mask] for a in arrays]
+            n_groups = int(np.count_nonzero(mask))
         return OpOutput(env=None, n_rows=n_groups), arrays, names
 
     def _estimate_groups(self, bound: BoundQuery,
@@ -389,58 +298,6 @@ class RelationalExecutor(Engine):
         for column in group_by:
             estimate *= max(bound.column_stats(column).n_distinct, 1)
         return min(estimate, n_input)
-
-    def _eval_agg_expr(self, expr: Expr, env: Environment, bound: BoundQuery,
-                       group_ids: np.ndarray, n_groups: int,
-                       representatives: np.ndarray,
-                       group_by: list[BoundColumn]) -> np.ndarray:
-        if isinstance(expr, AggregateCall):
-            return self._eval_aggregate(expr, env, bound, group_ids, n_groups)
-        if isinstance(expr, Literal):
-            return np.full(n_groups, expr.value)
-        if isinstance(expr, ColumnRef):
-            key = bound.resolve(expr).key
-            if key not in {c.key for c in group_by}:
-                raise ExecutionError(f"non-grouped column {key} in select")
-            return env.lookup(key)[representatives]
-        if isinstance(expr, BinaryOp):
-            left = self._eval_agg_expr(expr.left, env, bound, group_ids,
-                                       n_groups, representatives, group_by)
-            right = self._eval_agg_expr(expr.right, env, bound, group_ids,
-                                        n_groups, representatives, group_by)
-            ops = {
-                "+": np.add, "-": np.subtract, "*": np.multiply,
-                "/": np.divide, "%": np.mod,
-            }
-            return ops[expr.op](
-                np.asarray(left, dtype=np.float64),
-                np.asarray(right, dtype=np.float64),
-            )
-        raise ExecutionError(f"unsupported aggregate-context expression {expr!r}")
-
-    def _eval_aggregate(self, call: AggregateCall, env: Environment,
-                        bound: BoundQuery, group_ids: np.ndarray,
-                        n_groups: int) -> np.ndarray:
-        if call.argument is None:  # COUNT(*)
-            return np.bincount(group_ids, minlength=n_groups).astype(np.float64)
-        values = evaluate_expr(call.argument, env, bound).astype(np.float64)
-        if call.func == "count":
-            return np.bincount(group_ids, minlength=n_groups).astype(np.float64)
-        if call.func == "sum":
-            return np.bincount(group_ids, weights=values, minlength=n_groups)
-        if call.func == "avg":
-            sums = np.bincount(group_ids, weights=values, minlength=n_groups)
-            counts = np.bincount(group_ids, minlength=n_groups)
-            return sums / np.maximum(counts, 1)
-        if call.func == "min":
-            out = np.full(n_groups, np.inf)
-            np.minimum.at(out, group_ids, values)
-            return out
-        if call.func == "max":
-            out = np.full(n_groups, -np.inf)
-            np.maximum.at(out, group_ids, values)
-            return out
-        raise ExecutionError(f"unsupported aggregate {call.func!r}")
 
     # -- projection / sorting ------------------------------------------------------------- #
 
@@ -461,71 +318,24 @@ class RelationalExecutor(Engine):
 
     def _apply_sort(self, node: Sort, bound: BoundQuery,
                     arrays: list[np.ndarray], names: list[str]):
-        by_name = {name.lower(): i for i, name in enumerate(names)}
+        items = list(bound.select_items)
         order = np.arange(arrays[0].size if arrays else 0)
         for item in reversed(node.keys):
-            index = self._sort_column_index(item.expr, bound, by_name, names)
-            keys = np.asarray(arrays[index])[order]
+            index = resolve_output_index(bound, item.expr, names, items)
+            if index is None:
+                raise ExecutionError(
+                    f"ORDER BY key {item.expr} not in select list"
+                )
+            select_item = items[index] if index < len(items) else None
+            keys = sort_key_array(bound, select_item, arrays[index])[order]
             positions = np.argsort(keys, kind="stable")
             if item.descending:
                 positions = positions[::-1]
             order = order[positions]
-        return [a[order] for a in arrays], names
-
-    def _sort_column_index(self, expr: Expr, bound: BoundQuery,
-                           by_name: dict[str, int], names: list[str]) -> int:
-        if isinstance(expr, ColumnRef):
-            if expr.table is None and expr.column in by_name:
-                return by_name[expr.column]
-            try:
-                key = bound.resolve(expr).key
-            except Exception:  # alias only
-                key = str(expr)
-            for i, name in enumerate(names):
-                if name.lower() in (key, expr.column):
-                    return i
-            if key in by_name:
-                return by_name[key]
-        text = str(expr).lower()
-        if text in by_name:
-            return by_name[text]
-        raise ExecutionError(f"ORDER BY key {expr} not in select list")
+        return [np.asarray(a)[order] for a in arrays], names
 
     # -- result assembly --------------------------------------------------------------------- #
 
     def _build_table(self, bound: BoundQuery, arrays: list[np.ndarray],
                      names: list[str]) -> Table:
-        columns: dict[str, Column] = {}
-        item_exprs = {name: None for name in names}
-        for item, name in zip(self._final_items(bound), names):
-            item_exprs[name] = item.expr
-        for array, name in zip(arrays, names):
-            expr = item_exprs.get(name)
-            column = self._make_column(bound, expr, np.asarray(array))
-            unique_name = name
-            suffix = 1
-            while unique_name in columns:
-                suffix += 1
-                unique_name = f"{name}_{suffix}"
-            columns[unique_name] = column
-        return Table("result", columns)
-
-    @staticmethod
-    def _final_items(bound: BoundQuery) -> list[SelectItem]:
-        return list(bound.select_items)
-
-    def _make_column(self, bound: BoundQuery, expr: Expr | None,
-                     array: np.ndarray) -> Column:
-        if isinstance(expr, ColumnRef):
-            resolved = bound.resolve(expr)
-            if resolved.dtype == DataType.STRING:
-                source = bound.binding(resolved.binding).table.column(
-                    resolved.column
-                )
-                return Column(array.astype(np.int64), DataType.STRING,
-                              source.dictionary)
-            if resolved.dtype == DataType.INT64:
-                return Column(array.astype(np.int64), DataType.INT64)
-        if array.dtype.kind in ("i", "u"):
-            return Column(array.astype(np.int64), DataType.INT64)
-        return Column(array.astype(np.float64), DataType.FLOAT64)
+        return build_result_table(bound, arrays, names)

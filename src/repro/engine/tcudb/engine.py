@@ -21,6 +21,7 @@ import numpy as np
 from repro.common.errors import UnsupportedQueryError
 from repro.common.timing import STAGE_FILL, TimingBreakdown
 from repro.engine.base import Engine, ExecutionMode, QueryResult
+from repro.engine.physical import apply_order_limit
 from repro.engine.relational import equi_join_count, equi_join_indices
 from repro.engine.tcudb.codegen import generate_program
 from repro.engine.tcudb.cost import OperatorGeometry, PlanCost, Strategy
@@ -33,9 +34,7 @@ from repro.engine.tcudb.driver import (
 )
 from repro.engine.tcudb.feasibility import (
     INDICATOR_RANGE,
-    estimate_multiplicity,
     run_feasibility_test,
-    side_value_range,
 )
 from repro.engine.tcudb.optimizer import OptimizerDecision, TCUOptimizer
 from repro.engine.tcudb.patterns import (
@@ -301,9 +300,8 @@ class TCUDBEngine(Engine):
         pairs = equi_join_count(domain.left, domain.right)
         geometry = self._agg_geometry(bound, pattern, left_side, right_side,
                                       domain.k, pairs, fact, b_side)
-        feasibility = self._agg_feasibility(pattern, bound, left_side,
-                                            right_side, domain.k, fact,
-                                            b_side, dims)
+        feasibility = self._agg_feasibility(pattern, left_side, right_side,
+                                            domain.k)
         decision = self.optimizer.decide(
             geometry, feasibility, pairs, grouped=bool(pattern.group_by)
         )
@@ -548,18 +546,30 @@ class TCUDBEngine(Engine):
             fill_scale=4.0 if has_value_fill else 1.0,
         )
 
-    def _agg_feasibility(self, pattern, bound, left_side, right_side, k,
-                         fact, b_side, dims):
-        n = left_side.keys_mapped.size
-        m = right_side.keys_mapped.size
-        left_mult = estimate_multiplicity(n, left_side.g * k)
-        right_mult = estimate_multiplicity(m, right_side.g * k)
-        worst_left = None
-        worst_right = None
-        a_bindings = set([fact]) | (set(dims) - {b_side})
-        for spec in pattern.aggregates:
-            left_range = self._side_range(bound, spec, a_bindings, left_mult)
-            right_range = self._side_range(bound, spec, {b_side}, right_mult)
+    def _agg_feasibility(self, pattern, left_side, right_side, k):
+        """Exact data-range test over the prepared operand matrices.
+
+        Both sides are fully materialized by the time the optimizer
+        decides, so the test computes the exact per-cell sums each
+        matrix will hold.  (The previous statistics-based variant widened
+        column ranges by the *average* duplicate multiplicity, which
+        under-estimates the max per-cell accumulation — e.g. COUNT over
+        a skewed fact key — and admitted int4/fp16 plans the simulated
+        TCU then rejected with a PrecisionError.)
+        """
+        worst_left = self._exact_cell_range(left_side, k,
+                                            left_side.count_values)
+        worst_right = self._exact_cell_range(right_side, k,
+                                             right_side.count_values)
+        for i, spec in enumerate(pattern.aggregates):
+            if spec.func == "count":
+                continue
+            left_range = self._exact_cell_range(
+                left_side, k, left_side.values_per_agg[i]
+            )
+            right_range = self._exact_cell_range(
+                right_side, k, right_side.values_per_agg[i]
+            )
             if left_range is None or right_range is None:
                 return run_feasibility_test(None, None, k)
             worst_left = self._wider(worst_left, left_range)
@@ -569,20 +579,27 @@ class TCUDBEngine(Engine):
             require_exact=self.options.require_exact,
         )
 
-    def _side_range(self, bound, spec, bindings, multiplicity):
+    @staticmethod
+    def _exact_cell_range(side, k, values):
+        """Exact [min, max] of one operand matrix's cell sums (0 included
+        for empty cells); None when a value is non-finite (e.g. division
+        by a zero-valued column)."""
         from repro.tensor.precision import ValueRange
 
-        if spec.func == "count":
-            return ValueRange(0.0, float(multiplicity))
-        combined = None
-        for binding in bindings:
-            r = side_value_range(bound, spec, binding, multiplicity,
-                                 constant=spec.constant
-                                 if binding != "__b" else 1.0)
-            if r is None:
-                return None
-            combined = self._wider(combined, r)
-        return combined or ValueRange(0.0, float(multiplicity))
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return INDICATOR_RANGE
+        if not np.all(np.isfinite(values)):
+            return None
+        cells = side.row_codes() * k + side.keys_mapped
+        _, inverse = np.unique(cells, return_inverse=True)
+        sums = np.bincount(inverse, weights=values)
+        # The fill values (not just the accumulated endpoints) decide
+        # integrality: fractional fills quantize to garbage at int4/int8.
+        integral = bool(np.all(values == np.rint(values)))
+        return ValueRange(float(min(sums.min(), 0.0)),
+                          float(max(sums.max(), 0.0)),
+                          integral=integral)
 
     @staticmethod
     def _wider(a, b):
@@ -592,7 +609,8 @@ class TCUDBEngine(Engine):
             return b
         if b is None:
             return a
-        return ValueRange(min(a.lo, b.lo), max(a.hi, b.hi))
+        return ValueRange(min(a.lo, b.lo), max(a.hi, b.hi),
+                          integral=a.is_integral and b.is_integral)
 
     # -- Q2: multi-way join chains ----------------------------------------------- #
 
@@ -699,38 +717,11 @@ class TCUDBEngine(Engine):
     # -- output helpers ------------------------------------------------------------- #
 
     def _apply_order_limit(self, bound: BoundQuery, arrays, names):
-        if bound.order_by and arrays and arrays[0] is not None:
-            by_name = {n.lower(): i for i, n in enumerate(names)}
-            order = np.arange(arrays[0].size)
-            for item in reversed(bound.order_by):
-                index = self._order_index(bound, item.expr, by_name, names)
-                if index is None:
-                    continue
-                keys = np.asarray(arrays[index])[order]
-                positions = np.argsort(keys, kind="stable")
-                if item.descending:
-                    positions = positions[::-1]
-                order = order[positions]
-            arrays = [np.asarray(a)[order] for a in arrays]
-        if bound.limit is not None:
-            arrays = [a[: bound.limit] for a in arrays]
+        # Shared strict helper: unresolvable ORDER BY keys raise instead
+        # of being silently skipped (which mis-ordered LIMIT results).
+        if arrays and arrays[0] is not None:
+            arrays = apply_order_limit(bound, list(arrays), list(names))
         return arrays, names
-
-    def _order_index(self, bound, expr, by_name, names):
-        from repro.sql.ast_nodes import ColumnRef
-
-        if isinstance(expr, ColumnRef):
-            if expr.table is None and expr.column in by_name:
-                return by_name[expr.column]
-            try:
-                key = bound.resolve(expr).key
-            except Exception:
-                key = str(expr).lower()
-            for i, name in enumerate(names):
-                if name.lower() in (key, expr.column):
-                    return i
-        text = str(expr).lower()
-        return by_name.get(text)
 
     def _build_table(self, bound: BoundQuery, arrays, names,
                      columns: list[BoundColumn | None]) -> Table:

@@ -1,11 +1,12 @@
 """The data-range feasibility test (Section 4.2.1).
 
-From per-column statistics the test derives the value ranges of both
-operand matrices, bounds the largest possible result as m1 * m2 * k, and
-picks the most compact TCU-compatible precision (int4 -> int8 -> fp16) —
-or rejects TCU execution when no precision can represent the data.
+Given the value ranges of both operand matrices (computed exactly from
+the prepared sides by ``TCUDBEngine._exact_cell_range``), the test
+bounds the largest possible result as m1 * m2 * k and picks the most
+compact TCU-compatible precision (int4 -> int8 -> fp16) — or rejects
+TCU execution when no precision can represent the data.
 
-Indicator (0/1) matrices — plain joins, COUNT — are always exactly
+Indicator (0/1) matrices — plain joins — are always exactly
 representable, which is why the paper's Table 1 shows zero error for
 those cases.
 """
@@ -15,8 +16,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.engine.tcudb.patterns import AggregateSpec, Factor
-from repro.sql.binder import BoundQuery
 from repro.tensor.precision import ValueRange
 from repro.tensor.quantize import PrecisionChoice, choose_precision
 
@@ -34,66 +33,6 @@ class FeasibilityReport:
 
 
 INDICATOR_RANGE = ValueRange(0.0, 1.0)
-
-
-def factor_range(bound: BoundQuery, factor: Factor) -> ValueRange | None:
-    """Value range of one multiplicative factor (column or its inverse)."""
-    stats = bound.column_stats(factor.column)
-    lo, hi = stats.min_value, stats.max_value
-    if factor.power == 1:
-        return ValueRange(lo, hi)
-    # Inverse factor: bounded only when the column cannot hit zero.
-    if lo > 0:
-        return ValueRange(1.0 / hi, 1.0 / lo)
-    if hi < 0:
-        return ValueRange(1.0 / lo, 1.0 / hi)
-    return None
-
-
-def product_range(ranges: list[ValueRange]) -> ValueRange:
-    """Interval product of factor ranges (conservative, exact for
-    monotone factors)."""
-    lo, hi = 1.0, 1.0
-    for r in ranges:
-        candidates = [lo * r.lo, lo * r.hi, hi * r.lo, hi * r.hi]
-        lo, hi = min(candidates), max(candidates)
-    return ValueRange(lo, hi)
-
-
-def side_value_range(
-    bound: BoundQuery,
-    spec: AggregateSpec | None,
-    binding: str,
-    multiplicity: float,
-    constant: float = 1.0,
-) -> ValueRange | None:
-    """Range of one side matrix's entries.
-
-    Entries are sums over duplicate (group, key) coordinates, so the
-    per-tuple factor-product range is widened by the estimated duplicate
-    multiplicity (bag semantics).
-    """
-    if spec is None:
-        return INDICATOR_RANGE
-    factors = spec.factors_for(binding)
-    if not factors:
-        base = ValueRange(1.0, 1.0)
-    else:
-        ranges = []
-        for factor in factors:
-            r = factor_range(bound, factor)
-            if r is None:
-                return None
-            ranges.append(r)
-        base = product_range(ranges)
-    mult = max(multiplicity, 1.0)
-    scaled = ValueRange(
-        min(base.lo * constant, base.lo * constant * mult,
-            base.hi * constant, base.hi * constant * mult),
-        max(base.lo * constant, base.lo * constant * mult,
-            base.hi * constant, base.hi * constant * mult),
-    )
-    return scaled
 
 
 def run_feasibility_test(
@@ -124,11 +63,3 @@ def run_feasibility_test(
         feasible=True, choice=choice, left_range=left_range,
         right_range=right_range, result_bound=bound,
     )
-
-
-def estimate_multiplicity(n_rows: int, n_cells: int) -> float:
-    """Expected duplicates per matrix cell when n_rows tuples scatter into
-    n_cells distinct (row, col) coordinates."""
-    if n_cells <= 0:
-        return float(n_rows)
-    return max(1.0, math.ceil(n_rows / n_cells))

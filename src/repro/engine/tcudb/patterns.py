@@ -125,6 +125,14 @@ def match_pattern(bound: BoundQuery) -> TCUPattern | MatchFailure:
         return MatchFailure("single-table query: nothing to encode as a join")
     if not bound.join_predicates:
         return MatchFailure("no join predicate between the tables")
+    if bound.residuals:
+        return MatchFailure(
+            "cross-table OR/residual predicates are beyond TCU patterns"
+        )
+    if bound.having:
+        return MatchFailure(
+            "HAVING filters aggregate outputs; beyond TCU matmul patterns"
+        )
     if bound.has_aggregates:
         return _match_join_agg(bound)
     return _match_join_project(bound)

@@ -145,6 +145,68 @@ class InList(Predicate):
 
 
 @dataclass(frozen=True)
+class Conjunction(Predicate):
+    """AND of sub-predicates (appears inside OR arms and parentheses)."""
+
+    parts: tuple[Predicate, ...]
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Disjunction(Predicate):
+    """OR of sub-predicates (each arm may itself be a conjunction)."""
+
+    arms: tuple[Predicate, ...]
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(a) for a in self.arms) + ")"
+
+
+def walk_predicate_exprs(predicate: Predicate):
+    """Yield every scalar expression appearing inside a predicate tree."""
+    if isinstance(predicate, Comparison):
+        yield predicate.left
+        yield predicate.right
+    elif isinstance(predicate, Between):
+        yield predicate.expr
+        yield predicate.low
+        yield predicate.high
+    elif isinstance(predicate, InList):
+        yield predicate.expr
+    elif isinstance(predicate, Conjunction):
+        for part in predicate.parts:
+            yield from walk_predicate_exprs(part)
+    elif isinstance(predicate, Disjunction):
+        for arm in predicate.arms:
+            yield from walk_predicate_exprs(arm)
+    else:
+        raise TypeError(f"unknown predicate {predicate!r}")
+
+
+def map_predicate_exprs(predicate: Predicate, fn) -> Predicate:
+    """Rebuild a predicate tree with ``fn`` applied to each expression."""
+    if isinstance(predicate, Comparison):
+        return Comparison(op=predicate.op, left=fn(predicate.left),
+                          right=fn(predicate.right))
+    if isinstance(predicate, Between):
+        return Between(expr=fn(predicate.expr), low=fn(predicate.low),
+                       high=fn(predicate.high))
+    if isinstance(predicate, InList):
+        return InList(expr=fn(predicate.expr), values=predicate.values)
+    if isinstance(predicate, Conjunction):
+        return Conjunction(parts=tuple(
+            map_predicate_exprs(p, fn) for p in predicate.parts
+        ))
+    if isinstance(predicate, Disjunction):
+        return Disjunction(arms=tuple(
+            map_predicate_exprs(a, fn) for a in predicate.arms
+        ))
+    raise TypeError(f"unknown predicate {predicate!r}")
+
+
+@dataclass(frozen=True)
 class OrderItem:
     expr: Expr
     descending: bool = False
@@ -158,6 +220,7 @@ class SelectStatement:
     tables: tuple[TableRef, ...]
     where: tuple[Predicate, ...] = ()
     group_by: tuple[Expr, ...] = ()
+    having: tuple[Predicate, ...] = ()
     order_by: tuple[OrderItem, ...] = ()
     limit: int | None = None
     select_star: bool = False

@@ -14,18 +14,18 @@ from dataclasses import dataclass, field
 from repro.common.errors import BindError
 from repro.sql.ast_nodes import (
     AggregateCall,
-    Between,
     BinaryOp,
     ColumnRef,
     Comparison,
     Expr,
-    InList,
     Literal,
     OrderItem,
     Parameter,
     Predicate,
     SelectItem,
     SelectStatement,
+    map_predicate_exprs,
+    walk_predicate_exprs,
 )
 from repro.storage.catalog import Catalog
 from repro.storage.statistics import ColumnStats
@@ -81,6 +81,10 @@ class BoundQuery:
     group_by: list[BoundColumn]
     order_by: list[OrderItem]
     limit: int | None = None
+    # Conjuncts spanning several tables without being join conditions
+    # (e.g. cross-table ORs); applied after the joins.
+    residuals: list[Predicate] = field(default_factory=list)
+    having: list[Predicate] = field(default_factory=list)
 
     def binding(self, name: str) -> BoundTable:
         for bound in self.tables:
@@ -129,19 +133,9 @@ def substitute_parameters(expr: Expr, params: dict[str, object]) -> Expr:
 
 
 def _substitute_predicate(pred: Predicate, params: dict[str, object]) -> Predicate:
-    if isinstance(pred, Comparison):
-        return Comparison(
-            op=pred.op,
-            left=substitute_parameters(pred.left, params),
-            right=substitute_parameters(pred.right, params),
-        )
-    if isinstance(pred, Between):
-        return Between(
-            expr=substitute_parameters(pred.expr, params),
-            low=substitute_parameters(pred.low, params),
-            high=substitute_parameters(pred.high, params),
-        )
-    return pred
+    return map_predicate_exprs(
+        pred, lambda expr: substitute_parameters(expr, params)
+    )
 
 
 class _Binder:
@@ -157,8 +151,11 @@ class _Binder:
         self._bind_tables()
         statement = self._statement
         select_items = self._bind_select_items(statement)
-        join_predicates, filters = self._classify_predicates(statement)
+        join_predicates, filters, residuals = self._classify_predicates(
+            statement
+        )
         group_by = [self._bind_group_expr(e) for e in statement.group_by]
+        having = [self._bind_having(p) for p in statement.having]
         order_by = [
             OrderItem(
                 expr=substitute_parameters(item.expr, self._params),
@@ -180,6 +177,8 @@ class _Binder:
             group_by=group_by,
             order_by=order_by,
             limit=statement.limit,
+            residuals=residuals,
+            having=having,
         )
 
     # -- tables ------------------------------------------------------------ #
@@ -279,11 +278,14 @@ class _Binder:
 
     def _classify_predicates(
         self, statement: SelectStatement
-    ) -> tuple[list[JoinPredicate], dict[str, list[Predicate]]]:
+    ) -> tuple[
+        list[JoinPredicate], dict[str, list[Predicate]], list[Predicate]
+    ]:
         joins: list[JoinPredicate] = []
         filters: dict[str, list[Predicate]] = {
             bound.binding: [] for bound in self._tables
         }
+        residuals: list[Predicate] = []
         for predicate in statement.where:
             predicate = _substitute_predicate(predicate, self._params)
             join = self._try_join_predicate(predicate)
@@ -291,13 +293,22 @@ class _Binder:
                 joins.append(join)
                 continue
             bindings = self._predicate_bindings(predicate)
-            if len(bindings) != 1:
-                raise BindError(
-                    f"predicate {predicate} mixes tables without being a "
-                    "column-to-column join condition"
-                )
-            filters[next(iter(bindings))].append(predicate)
-        return joins, filters
+            if len(bindings) == 1:
+                filters[next(iter(bindings))].append(predicate)
+            else:
+                # Multi-table (or table-free) conjuncts that are not join
+                # conditions are applied after the joins complete.
+                residuals.append(predicate)
+        return joins, filters, residuals
+
+    def _bind_having(self, predicate: Predicate) -> Predicate:
+        predicate = _substitute_predicate(predicate, self._params)
+        for expr in walk_predicate_exprs(predicate):
+            self._validate_aggregate_nesting(expr)
+            for node in expr.walk():
+                if isinstance(node, ColumnRef):
+                    self._resolve_column(node)
+        return predicate
 
     def _try_join_predicate(self, predicate: Predicate) -> JoinPredicate | None:
         if not isinstance(predicate, Comparison):
@@ -313,17 +324,8 @@ class _Binder:
         return JoinPredicate(op=predicate.op, left=left, right=right)
 
     def _predicate_bindings(self, predicate: Predicate) -> set[str]:
-        exprs: list[Expr]
-        if isinstance(predicate, Comparison):
-            exprs = [predicate.left, predicate.right]
-        elif isinstance(predicate, Between):
-            exprs = [predicate.expr, predicate.low, predicate.high]
-        elif isinstance(predicate, InList):
-            exprs = [predicate.expr]
-        else:
-            raise BindError(f"unsupported predicate {predicate!r}")
         bindings: set[str] = set()
-        for expr in exprs:
+        for expr in walk_predicate_exprs(predicate):
             for node in expr.walk():
                 if isinstance(node, ColumnRef):
                     bindings.add(self._resolve_column(node).binding)

@@ -18,6 +18,8 @@ from repro.sql.ast_nodes import (
     BinaryOp,
     ColumnRef,
     Comparison,
+    Conjunction,
+    Disjunction,
     Expr,
     InList,
     Literal,
@@ -60,7 +62,7 @@ class Environment:
         )
 
 
-def _encode_literal(bound_query: BoundQuery, ref: ColumnRef, value):
+def encode_literal(bound_query: BoundQuery, ref: ColumnRef, value):
     """Map a literal to the physical domain of the referenced column."""
     bound = bound_query.resolve(ref)
     column = bound_query.binding(bound.binding).table.column(bound.column)
@@ -111,51 +113,73 @@ _COMPARATORS = {
 }
 
 
-def _comparison_operand(
-    expr: Expr, other: Expr, env: Environment, bound_query: BoundQuery
+def predicate_mask(
+    predicate: Predicate,
+    n_rows: int,
+    eval_expr,
+    encode,
 ) -> np.ndarray:
-    """Evaluate one comparison side, translating string literals through
-    the other side's dictionary when needed."""
-    if isinstance(expr, Literal) and isinstance(expr.value, str):
-        if isinstance(other, ColumnRef):
-            encoded = _encode_literal(bound_query, other, expr.value)
-            return np.full(env.n_rows, encoded)
-        raise ExecutionError(
-            f"string literal {expr.value!r} compared against non-column"
-        )
-    return evaluate_expr(expr, env, bound_query)
+    """Generic predicate interpreter shared by row- and group-level
+    evaluation.
+
+    ``eval_expr(expr)`` evaluates a scalar expression to an array of
+    ``n_rows`` values; ``encode(ref, value)`` maps a string literal into
+    the physical domain of the referenced column's dictionary.
+    """
+
+    def operand(expr: Expr, other: Expr) -> np.ndarray:
+        if isinstance(expr, Literal) and isinstance(expr.value, str):
+            if isinstance(other, ColumnRef):
+                return np.full(n_rows, encode(other, expr.value))
+            raise ExecutionError(
+                f"string literal {expr.value!r} compared against non-column"
+            )
+        return eval_expr(expr)
+
+    if isinstance(predicate, Comparison):
+        left = operand(predicate.left, predicate.right)
+        right = operand(predicate.right, predicate.left)
+        return _COMPARATORS[predicate.op](left, right)
+    if isinstance(predicate, Between):
+        value = eval_expr(predicate.expr)
+        low = operand(predicate.low, predicate.expr)
+        high = operand(predicate.high, predicate.expr)
+        return (value >= low) & (value <= high)
+    if isinstance(predicate, InList):
+        if isinstance(predicate.expr, ColumnRef):
+            ref = predicate.expr
+            values = [
+                encode(ref, literal.value)
+                if isinstance(literal.value, str) else literal.value
+                for literal in predicate.values
+            ]
+        else:
+            values = [literal.value for literal in predicate.values]
+        column = eval_expr(predicate.expr)
+        return np.isin(column, np.asarray(values))
+    if isinstance(predicate, Conjunction):
+        mask = np.ones(n_rows, dtype=bool)
+        for part in predicate.parts:
+            mask &= predicate_mask(part, n_rows, eval_expr, encode)
+        return mask
+    if isinstance(predicate, Disjunction):
+        mask = np.zeros(n_rows, dtype=bool)
+        for arm in predicate.arms:
+            mask |= predicate_mask(arm, n_rows, eval_expr, encode)
+        return mask
+    raise ExecutionError(f"unsupported predicate {predicate!r}")
 
 
 def evaluate_predicate(
     predicate: Predicate, env: Environment, bound_query: BoundQuery
 ) -> np.ndarray:
     """Evaluate a WHERE conjunct to a boolean mask."""
-    if isinstance(predicate, Comparison):
-        left = _comparison_operand(
-            predicate.left, predicate.right, env, bound_query
-        )
-        right = _comparison_operand(
-            predicate.right, predicate.left, env, bound_query
-        )
-        return _COMPARATORS[predicate.op](left, right)
-    if isinstance(predicate, Between):
-        value = evaluate_expr(predicate.expr, env, bound_query)
-        low = _comparison_operand(predicate.low, predicate.expr, env, bound_query)
-        high = _comparison_operand(predicate.high, predicate.expr, env, bound_query)
-        return (value >= low) & (value <= high)
-    if isinstance(predicate, InList):
-        if isinstance(predicate.expr, ColumnRef):
-            ref = predicate.expr
-            values = [
-                _encode_literal(bound_query, ref, literal.value)
-                if isinstance(literal.value, str) else literal.value
-                for literal in predicate.values
-            ]
-        else:
-            values = [literal.value for literal in predicate.values]
-        column = evaluate_expr(predicate.expr, env, bound_query)
-        return np.isin(column, np.asarray(values))
-    raise ExecutionError(f"unsupported predicate {predicate!r}")
+    return predicate_mask(
+        predicate,
+        env.n_rows,
+        lambda expr: evaluate_expr(expr, env, bound_query),
+        lambda ref, value: encode_literal(bound_query, ref, value),
+    )
 
 
 def conjunction_mask(

@@ -17,7 +17,7 @@ from repro.common.errors import LexError
 KEYWORDS = {
     "select", "from", "where", "group", "by", "order", "asc", "desc",
     "and", "or", "as", "between", "in", "limit", "not", "distinct",
-    "sum", "count", "avg", "min", "max",
+    "having", "sum", "count", "avg", "min", "max",
 }
 
 

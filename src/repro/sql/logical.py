@@ -58,18 +58,37 @@ class Join(LogicalNode):
 
 
 @dataclass
+class Filter(LogicalNode):
+    """Residual conjuncts (e.g. cross-table ORs) applied after joins."""
+
+    input: LogicalNode
+    predicates: list[Predicate] = field(default_factory=list)
+
+    def children(self) -> list[LogicalNode]:
+        return [self.input]
+
+    def describe(self) -> str:
+        conds = " AND ".join(str(p) for p in self.predicates)
+        return f"Filter({conds})"
+
+
+@dataclass
 class Aggregate(LogicalNode):
-    """Group-by + aggregate evaluation."""
+    """Group-by + aggregate evaluation, with optional HAVING conjuncts."""
 
     input: LogicalNode
     group_by: list[BoundColumn]
     items: list[SelectItem]  # full select list (aggregates + group cols)
+    having: list[Predicate] = field(default_factory=list)
 
     def children(self) -> list[LogicalNode]:
         return [self.input]
 
     def describe(self) -> str:
         keys = ", ".join(str(c) for c in self.group_by) or "<global>"
+        if self.having:
+            conds = " AND ".join(str(p) for p in self.having)
+            return f"Aggregate(by {keys} having {conds})"
         return f"Aggregate(by {keys})"
 
 

@@ -4,12 +4,16 @@ Grammar (conjunctive WHERE, comma joins — the dialect the paper's example
 queries and the SSB queries use):
 
     select    := SELECT item (',' item)* FROM table (',' table)*
-                 [WHERE pred (AND pred)*]
+                 [WHERE bool]
                  [GROUP BY expr (',' expr)*]
+                 [HAVING bool]
                  [ORDER BY expr [ASC|DESC] (',' ...)*]
                  [LIMIT number] [';']
     item      := '*' | expr [AS ident | ident]
     table     := ident [AS ident | ident]
+    bool      := andpred (OR andpred)*           -- AND binds tighter
+    andpred   := boolprim (AND boolprim)*
+    boolprim  := '(' bool ')' | pred             -- disambiguated by backtrack
     pred      := expr cmp expr | expr BETWEEN expr AND expr
                | expr [NOT] IN '(' literal (',' literal)* ')'
     expr      := term (('+'|'-') term)*
@@ -29,6 +33,8 @@ from repro.sql.ast_nodes import (
     BinaryOp,
     ColumnRef,
     Comparison,
+    Conjunction,
+    Disjunction,
     Expr,
     InList,
     Literal,
@@ -107,10 +113,9 @@ class _Parser:
             tables.append(self._parse_table_ref())
         predicates: list[Predicate] = []
         if self._accept_keyword("where"):
-            predicates.append(self._parse_predicate())
-            while self._accept_keyword("and"):
-                predicates.append(self._parse_predicate())
+            predicates = self._parse_bool_conjuncts()
         group_by: list[Expr] = []
+        having: list[Predicate] = []
         order_by: list[OrderItem] = []
         limit: int | None = None
         if self._accept_keyword("group"):
@@ -118,6 +123,8 @@ class _Parser:
             group_by.append(self._parse_expr())
             while self._accept_punct(","):
                 group_by.append(self._parse_expr())
+        if self._accept_keyword("having"):
+            having = self._parse_bool_conjuncts()
         if self._accept_keyword("order"):
             self._expect_keyword("by")
             order_by.append(self._parse_order_item())
@@ -140,6 +147,7 @@ class _Parser:
             tables=tuple(tables),
             where=tuple(predicates),
             group_by=tuple(group_by),
+            having=tuple(having),
             order_by=tuple(order_by),
             limit=limit,
             select_star=select_star,
@@ -181,6 +189,44 @@ class _Parser:
         return OrderItem(expr=expr, descending=descending)
 
     # -- predicates ----------------------------------------------------------- #
+
+    def _parse_bool_conjuncts(self) -> list[Predicate]:
+        """Parse a boolean expression, flattened to top-level conjuncts."""
+        predicate = self._parse_or()
+        if isinstance(predicate, Conjunction):
+            return list(predicate.parts)
+        return [predicate]
+
+    def _parse_or(self) -> Predicate:
+        arms = [self._parse_and()]
+        while self._accept_keyword("or"):
+            arms.append(self._parse_and())
+        if len(arms) == 1:
+            return arms[0]
+        return Disjunction(arms=tuple(arms))
+
+    def _parse_and(self) -> Predicate:
+        parts = [self._parse_bool_primary()]
+        while self._accept_keyword("and"):
+            parts.append(self._parse_bool_primary())
+        if len(parts) == 1:
+            return parts[0]
+        return Conjunction(parts=tuple(parts))
+
+    def _parse_bool_primary(self) -> Predicate:
+        # '(' opens either a boolean group or an arithmetic sub-expression;
+        # try the boolean reading first and backtrack on failure.
+        token = self._peek()
+        if token.type == TokenType.PUNCT and token.value == "(":
+            saved = self._pos
+            self._advance()
+            try:
+                inner = self._parse_or()
+                self._expect_punct(")")
+                return inner
+            except ParseError:
+                self._pos = saved
+        return self._parse_predicate()
 
     def _parse_predicate(self) -> Predicate:
         left = self._parse_expr()

@@ -12,6 +12,7 @@ from repro.common.errors import PlanError
 from repro.sql.binder import BoundQuery, JoinPredicate
 from repro.sql.logical import (
     Aggregate,
+    Filter,
     Join,
     Limit,
     LogicalNode,
@@ -24,11 +25,17 @@ from repro.sql.logical import (
 def plan(bound: BoundQuery) -> LogicalNode:
     """Build the logical plan for a bound query."""
     node = _plan_joins(bound)
+    if bound.residuals:
+        node = Filter(input=node, predicates=list(bound.residuals))
     if bound.has_aggregates or bound.group_by:
         _validate_group_select(bound)
         node = Aggregate(
             input=node, group_by=list(bound.group_by),
-            items=list(bound.select_items),
+            items=list(bound.select_items), having=list(bound.having),
+        )
+    elif bound.having:
+        raise PlanError(
+            "HAVING requires aggregation (aggregates or GROUP BY)"
         )
     else:
         node = Project(input=node, items=list(bound.select_items))
@@ -108,21 +115,29 @@ def _flip_op(op: str) -> str:
 
 
 def _validate_group_select(bound: BoundQuery) -> None:
-    """Every non-aggregate select column must appear in GROUP BY."""
-    from repro.sql.ast_nodes import AggregateCall, ColumnRef
+    """Non-aggregate columns in SELECT/HAVING must appear in GROUP BY."""
+    from repro.sql.ast_nodes import (
+        AggregateCall,
+        ColumnRef,
+        walk_predicate_exprs,
+    )
 
     group_keys = {column.key for column in bound.group_by}
-    for item in bound.select_items:
-        agg_nodes = [
-            n for n in item.expr.walk() if isinstance(n, AggregateCall)
-        ]
-        if agg_nodes:
-            continue
-        for node in item.expr.walk():
+
+    def check(expr, where: str) -> None:
+        if any(isinstance(n, AggregateCall) for n in expr.walk()):
+            return
+        for node in expr.walk():
             if isinstance(node, ColumnRef):
                 key = bound.resolve(node).key
                 if key not in group_keys:
                     raise PlanError(
-                        f"column {key} in SELECT is neither aggregated nor "
-                        "in GROUP BY"
+                        f"column {key} in {where} is neither aggregated "
+                        "nor in GROUP BY"
                     )
+
+    for item in bound.select_items:
+        check(item.expr, "SELECT")
+    for predicate in bound.having:
+        for expr in walk_predicate_exprs(predicate):
+            check(expr, "HAVING")

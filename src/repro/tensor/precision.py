@@ -71,10 +71,18 @@ TCU_PRECISIONS_COMPACT_FIRST = (Precision.INT4, Precision.INT8, Precision.FP16)
 
 @dataclass(frozen=True)
 class ValueRange:
-    """Closed interval of values observed in a column (from statistics)."""
+    """Closed interval of values observed in a column (from statistics).
+
+    ``integral`` records whether every value in the interval is known to
+    be an integer.  ``None`` (the default) falls back to inferring from
+    the endpoints — correct for per-column statistics, but callers that
+    observe actual values (e.g. exact per-cell matrix sums) must pass the
+    flag explicitly: fractional values can have integral endpoints.
+    """
 
     lo: float
     hi: float
+    integral: bool | None = None
 
     def __post_init__(self):
         if self.lo > self.hi:
@@ -87,6 +95,8 @@ class ValueRange:
 
     @property
     def is_integral(self) -> bool:
+        if self.integral is not None:
+            return self.integral
         return float(self.lo).is_integer() and float(self.hi).is_integer()
 
 

@@ -1,0 +1,332 @@
+"""Seeded property-based fuzzing: TCUDB-with-fallback vs the oracle.
+
+A small random query generator over the SSB schema emits ~200 queries —
+single-table and star-join shapes, random filters (comparisons, BETWEEN,
+IN lists, single-table ORs), SUM/COUNT/AVG/MIN/MAX aggregates with
+arithmetic arguments, GROUP BY, HAVING, ORDER BY and LIMIT.  Every query
+runs through TCUDB (native or fallback) and ReferenceEngine; mismatches
+fail with the reproducing SQL in the message.
+
+The RNG is fixed through :func:`repro.common.rng.make_rng`, so a failure
+reproduces by seed + query index alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from differential_utils import assert_results_match
+from repro.common.rng import make_rng
+from repro.datasets.ssb import REGIONS, ssb_catalog
+from repro.engine import create_engine
+
+FUZZ_SEED = 20220612
+N_QUERIES = 200
+TCU_REL = 2e-3
+
+# -- SSB schema description for the generator ------------------------------- #
+
+FACT_NUMERIC = {
+    "lo_quantity": (1, 50),
+    "lo_discount": (0, 10),
+    "lo_extendedprice": (900, 100_000),
+    "lo_revenue": (900, 100_000),
+    "lo_supplycost": (500, 60_000),
+}
+
+# dimension table -> (fact fk column, dimension key column)
+DIM_JOINS = {
+    "ddate": ("lo_orderdate", "d_datekey"),
+    "customer": ("lo_custkey", "c_custkey"),
+    "supplier": ("lo_suppkey", "s_suppkey"),
+    "part": ("lo_partkey", "p_partkey"),
+}
+
+
+def _nations() -> list[str]:
+    return [
+        f"{region.replace(' ', '')[:7]}_N{i}"
+        for region in REGIONS
+        for i in range(5)
+    ]
+
+
+def _cities() -> list[str]:
+    return [f"{nation}_C{j}" for nation in _nations() for j in range(10)]
+
+
+DIM_STRING_COLS = {
+    "customer": {
+        "c_region": REGIONS,
+        "c_nation": _nations(),
+        "c_city": _cities(),
+    },
+    "supplier": {
+        "s_region": REGIONS,
+        "s_nation": _nations(),
+        "s_city": _cities(),
+    },
+    "part": {
+        "p_mfgr": [f"MFGR#{m}" for m in range(1, 6)],
+        "p_category": [f"MFGR#{m}{c}" for m in range(1, 6)
+                       for c in range(1, 6)],
+    },
+}
+
+DIM_NUMERIC_COLS = {
+    "ddate": {
+        "d_year": (1992, 1998),
+        "d_month": (1, 12),
+        "d_weeknuminyear": (1, 52),
+    },
+}
+
+# numeric columns usable as aggregate arguments, per table
+TABLE_NUMERIC = {
+    "lineorder": FACT_NUMERIC,
+    "ddate": DIM_NUMERIC_COLS["ddate"],
+    "customer": {"c_custkey": (1, 300)},
+    "supplier": {"s_suppkey": (1, 40)},
+    "part": {"p_partkey": (1, 1000)},
+}
+
+# group-by candidates per dimension (strings and small ints)
+DIM_GROUP_COLS = {
+    "ddate": ["d_year", "d_month", "d_yearmonth"],
+    "customer": ["c_region", "c_nation"],
+    "supplier": ["s_region", "s_nation"],
+    "part": ["p_mfgr", "p_category"],
+}
+
+AGG_FUNCS = ["sum", "count", "avg", "min", "max"]
+
+
+class QueryGenerator:
+    """Draws random-but-valid SQL over the SSB schema."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def _choice(self, options):
+        return options[int(self.rng.integers(0, len(options)))]
+
+    # -- filters --------------------------------------------------------- #
+
+    def _numeric_predicate(self, column: str, lo: int, hi: int) -> str:
+        kind = self._choice(["cmp", "cmp", "between", "in", "eq"])
+        if kind == "between":
+            a = int(self.rng.integers(lo, hi + 1))
+            b = int(self.rng.integers(lo, hi + 1))
+            return f"{column} BETWEEN {min(a, b)} AND {max(a, b)}"
+        if kind == "in":
+            count = int(self.rng.integers(2, 5))
+            values = sorted(
+                {int(self.rng.integers(lo, hi + 1)) for _ in range(count)}
+            )
+            return f"{column} IN ({', '.join(map(str, values))})"
+        value = int(self.rng.integers(lo, hi + 1))
+        op = "=" if kind == "eq" else self._choice(["<", "<=", ">", ">="])
+        return f"{column} {op} {value}"
+
+    def _string_predicate(self, column: str, pool: list[str]) -> str:
+        if self.rng.random() < 0.4:
+            count = int(self.rng.integers(2, 4))
+            values = sorted({self._choice(pool) for _ in range(count)})
+            quoted = ", ".join(f"'{v}'" for v in values)
+            return f"{column} IN ({quoted})"
+        return f"{column} = '{self._choice(pool)}'"
+
+    def _table_predicate(self, table: str) -> str | None:
+        if table == "lineorder":
+            column = self._choice(sorted(FACT_NUMERIC))
+            lo, hi = FACT_NUMERIC[column]
+            return self._numeric_predicate(column, lo, hi)
+        if table in DIM_STRING_COLS and (
+            table not in DIM_NUMERIC_COLS or self.rng.random() < 0.7
+        ):
+            column = self._choice(sorted(DIM_STRING_COLS[table]))
+            return self._string_predicate(column,
+                                          DIM_STRING_COLS[table][column])
+        if table in DIM_NUMERIC_COLS:
+            column = self._choice(sorted(DIM_NUMERIC_COLS[table]))
+            lo, hi = DIM_NUMERIC_COLS[table][column]
+            return self._numeric_predicate(column, lo, hi)
+        return None
+
+    def _filters(self, tables: list[str]) -> list[str]:
+        conjuncts: list[str] = []
+        for _ in range(int(self.rng.integers(0, 3))):
+            table = self._choice(tables)
+            predicate = self._table_predicate(table)
+            if predicate is None:
+                continue
+            # Occasionally wrap two same-table predicates in an OR group.
+            if self.rng.random() < 0.2:
+                other = self._table_predicate(table)
+                if other is not None and other != predicate:
+                    predicate = f"({predicate} OR {other})"
+            conjuncts.append(predicate)
+        return conjuncts
+
+    # -- aggregates ------------------------------------------------------ #
+
+    def _agg_argument(self, columns: list[str]) -> str:
+        shape = self._choice(["col", "col", "product", "difference", "scale"])
+        first = self._choice(columns)
+        if shape == "product":
+            return f"{first} * {self._choice(columns)}"
+        if shape == "difference":
+            return f"{first} - {self._choice(columns)}"
+        if shape == "scale":
+            return f"{first} * {int(self.rng.integers(2, 10))}"
+        return first
+
+    def _aggregate_item(self, index: int, columns: list[str]) -> str:
+        func = self._choice(AGG_FUNCS)
+        if func == "count" and self.rng.random() < 0.5:
+            return f"COUNT(*) AS a{index}"
+        return f"{func.upper()}({self._agg_argument(columns)}) AS a{index}"
+
+    # -- query shapes ---------------------------------------------------- #
+
+    def generate(self) -> str:
+        if self.rng.random() < 0.35:
+            return self._single_table()
+        return self._star_join(n_dims=int(self.rng.integers(1, 4)))
+
+    def _single_table(self) -> str:
+        if self.rng.random() < 0.6:
+            return self._assemble(
+                tables=["lineorder"], joins=[], group_tables=[],
+                aggregate=self.rng.random() < 0.75,
+            )
+        table = self._choice(sorted(DIM_JOINS))
+        return self._assemble(
+            tables=[table], joins=[], group_tables=[table],
+            aggregate=self.rng.random() < 0.75,
+        )
+
+    def _star_join(self, n_dims: int) -> str:
+        dims = list(self.rng.choice(sorted(DIM_JOINS), size=n_dims,
+                                    replace=False))
+        joins = [
+            f"{DIM_JOINS[dim][0]} = {DIM_JOINS[dim][1]}" for dim in dims
+        ]
+        return self._assemble(
+            tables=["lineorder"] + dims, joins=joins, group_tables=dims,
+            aggregate=self.rng.random() < 0.8,
+        )
+
+    def _assemble(self, tables: list[str], joins: list[str],
+                  group_tables: list[str], aggregate: bool) -> str:
+        # Aggregate arguments come from the fact table in star shapes,
+        # or from the single table's own numeric columns.
+        agg_source = "lineorder" if "lineorder" in tables else tables[0]
+        numeric_cols = sorted(TABLE_NUMERIC[agg_source])
+        group_cols: list[str] = []
+        if aggregate and group_tables and self.rng.random() < 0.8:
+            n_keys = int(self.rng.integers(1, 3))
+            candidates = sorted({
+                self._choice(DIM_GROUP_COLS[table])
+                for table in (self._choice(group_tables)
+                              for _ in range(n_keys))
+                if table in DIM_GROUP_COLS
+            })
+            group_cols = candidates
+        items: list[str] = []
+        if aggregate:
+            items.extend(f"{col} AS g{i}" for i, col in enumerate(group_cols))
+            for i in range(int(self.rng.integers(1, 3))):
+                items.append(self._aggregate_item(i, numeric_cols))
+        else:
+            if "lineorder" in tables:
+                items.append("lo_orderkey AS g0")
+                column = self._choice(sorted(FACT_NUMERIC))
+                if self.rng.random() < 0.4:
+                    items.append(
+                        f"{column} * 2 + 1 AS a0"
+                    )
+                else:
+                    items.append(f"{column} AS a0")
+            else:
+                table = tables[0]
+                items.append(f"{self._choice(DIM_GROUP_COLS[table])} AS g0")
+        conjuncts = joins + self._filters(tables)
+        sql = f"SELECT {', '.join(items)} FROM {', '.join(tables)}"
+        if conjuncts:
+            sql += " WHERE " + " AND ".join(conjuncts)
+        if group_cols:
+            sql += " GROUP BY " + ", ".join(group_cols)
+        if aggregate and self.rng.random() < 0.25:
+            if self.rng.random() < 0.6:
+                sql += f" HAVING COUNT(*) > {int(self.rng.integers(1, 40))}"
+            else:
+                column = self._choice(numeric_cols)
+                _, hi = TABLE_NUMERIC[agg_source][column]
+                threshold = int(self.rng.integers(1, hi * 40))
+                sql += f" HAVING SUM({column}) > {threshold}"
+        if self.rng.random() < 0.5:
+            aliases = [item.split(" AS ")[-1] for item in items]
+            directions = [
+                f"{alias} {self._choice(['ASC', 'DESC'])}"
+                for alias in aliases
+            ]
+            # Order over every output column => total order up to full-row
+            # duplicates, so LIMIT selects a well-defined row multiset.
+            sql += " ORDER BY " + ", ".join(directions)
+            if self.rng.random() < 0.5:
+                sql += f" LIMIT {int(self.rng.integers(1, 40))}"
+        return sql + ";"
+
+
+@pytest.fixture(scope="module")
+def fuzz_engines():
+    catalog = ssb_catalog(scale_factor=1, rows_per_sf=2000, seed=13)
+    return {
+        name: create_engine(name, catalog)
+        for name in ("reference", "tcudb")
+    }
+
+
+def test_fuzzed_queries_match_oracle(fuzz_engines):
+    """~200 random queries: TCUDB (native or fallback) equals the oracle."""
+    generator = QueryGenerator(make_rng(FUZZ_SEED))
+    native = fallback = 0
+    failures: list[str] = []
+    for index in range(N_QUERIES):
+        sql = generator.generate()
+        try:
+            oracle = fuzz_engines["reference"].execute(sql)
+            tcu = fuzz_engines["tcudb"].execute(sql)
+            if tcu.extra.get("fallback_reason"):
+                fallback += 1
+            else:
+                native += 1
+            assert_results_match(
+                tcu, oracle, rel=TCU_REL,
+                context=f"fuzz #{index}: {sql}",
+            )
+        except AssertionError as error:
+            failures.append(f"-- fuzz #{index}\n{sql}\n   {error}")
+        except Exception as error:  # engine crash: also a bug
+            failures.append(
+                f"-- fuzz #{index} raised {type(error).__name__}: {error}\n"
+                f"{sql}"
+            )
+    if failures:
+        pytest.fail(
+            f"{len(failures)}/{N_QUERIES} fuzzed queries diverged from the "
+            "oracle; reproducing SQL below\n" + "\n".join(failures[:10])
+        )
+    # The generator must exercise both TCU execution paths.
+    assert native >= 20, f"only {native} fuzzed queries ran natively"
+    assert fallback >= 20, f"only {fallback} fuzzed queries fell back"
+
+
+def test_fuzzer_is_deterministic():
+    """Same seed => same query text (reproducibility contract)."""
+    first = QueryGenerator(make_rng(FUZZ_SEED))
+    second = QueryGenerator(make_rng(FUZZ_SEED))
+    for _ in range(25):
+        assert first.generate() == second.generate()
