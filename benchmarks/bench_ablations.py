@@ -11,8 +11,9 @@ from repro.engine.base import ExecutionMode
 from repro.engine.tcudb import TCUDBEngine
 
 
-def test_ablation_fused_agg(print_series, benchmark):
-    result = run_ablation_fused_agg()
+def test_ablation_fused_agg(print_series, benchmark, bench_profile,
+                            verifier):
+    result = run_ablation_fused_agg(profile=bench_profile, verifier=verifier)
     print_series(result)
     for config in result.configs():
         assert result.find(config, "join + group-by").normalized > 1.0
@@ -21,8 +22,10 @@ def test_ablation_fused_agg(print_series, benchmark):
     benchmark(lambda: engine.execute(QUERY_Q3))
 
 
-def test_ablation_density_switch(print_series, benchmark):
-    result = run_ablation_density_switch()
+def test_ablation_density_switch(print_series, benchmark, bench_profile,
+                                 verifier):
+    result = run_ablation_density_switch(profile=bench_profile,
+                                         verifier=verifier)
     print_series(result)
     for config in result.configs():
         chosen = result.find(config, "optimizer").seconds
@@ -42,8 +45,9 @@ def test_ablation_density_switch(print_series, benchmark):
     benchmark(lambda: run_ablation_density_switch(distincts=[32]))
 
 
-def test_ablation_precision(print_series, benchmark):
-    result = run_ablation_precision()
+def test_ablation_precision(print_series, benchmark, bench_profile,
+                            verifier):
+    result = run_ablation_precision(profile=bench_profile, verifier=verifier)
     print_series(result)
     for config in result.configs():
         assert (result.find(config, "int4").seconds
@@ -51,8 +55,10 @@ def test_ablation_precision(print_series, benchmark):
     benchmark(lambda: run_ablation_precision(sizes=[4096]))
 
 
-def test_ablation_transform_location(print_series, benchmark):
-    result = run_ablation_transform_location()
+def test_ablation_transform_location(print_series, benchmark, bench_profile,
+                                     verifier):
+    result = run_ablation_transform_location(profile=bench_profile,
+                                             verifier=verifier)
     print_series(result)
     for config in result.configs():
         assert (result.find(config, "gpu-allowed").seconds

@@ -4,8 +4,8 @@ from repro.bench import run_fig3
 from repro.hardware.gpu import GPUDevice
 
 
-def test_fig3_series(print_series, benchmark):
-    result = run_fig3()
+def test_fig3_series(print_series, benchmark, bench_profile, verifier):
+    result = run_fig3(profile=bench_profile, verifier=verifier)
     print_series(result)
     for dim in result.configs():
         assert (result.find(dim, "TCUs").seconds

@@ -9,8 +9,8 @@ from repro.engine.tcudb import TCUDBEngine
 
 
 @pytest.mark.parametrize("query", ["q1", "q3", "q4"])
-def test_fig7_series(print_series, benchmark, query):
-    result = run_fig7(query)
+def test_fig7_series(print_series, benchmark, bench_profile, verifier, query):
+    result = run_fig7(query, profile=bench_profile, verifier=verifier)
     print_series(result)
     for config in result.configs():
         assert (result.find(config, "TCUDB").normalized

@@ -10,23 +10,31 @@ from repro.workloads.ssb_queries import SSB_QUERIES
 
 
 @pytest.mark.parametrize("scale_factor", [1, 2, 4, 8])
-def test_fig9_series(print_series, benchmark, scale_factor):
-    result = run_fig9(scale_factor=scale_factor)
+def test_fig9_series(print_series, benchmark, bench_profile, verifier,
+                     scale_factor):
+    if scale_factor not in bench_profile.ssb_scale_factors:
+        pytest.skip(f"sf{scale_factor} not in profile "
+                    f"{bench_profile.name!r}")
+    result = run_fig9(scale_factor=scale_factor, profile=bench_profile,
+                      verifier=verifier)
     print_series(result)
     for query_id in ("Q1.1", "Q2.1", "Q4.1"):
         assert result.find(query_id, "TCUDB").normalized < 1.0
-    catalog = ssb_catalog(scale_factor=1, rows_per_sf=20_000, seed=9)
+    catalog = ssb_catalog(scale_factor=1,
+                          rows_per_sf=bench_profile.ssb_rows_per_sf, seed=9)
     engine = TCUDBEngine(catalog, mode=ExecutionMode.ANALYTIC)
     benchmark(lambda: engine.execute(SSB_QUERIES["Q2.1"]))
 
 
-def test_fig9_full_13_query_suite(print_series, benchmark):
+def test_fig9_full_13_query_suite(print_series, benchmark, bench_profile,
+                                  verifier):
     """All 13 queries at SF 1 (the figures plot the flight heads)."""
     result = run_fig9(scale_factor=1, queries=tuple(sorted(SSB_QUERIES)),
-                      rows_per_sf=20_000)
+                      profile=bench_profile, verifier=verifier)
     result.experiment_id = "fig9_sf1_full13"
     print_series(result)
     assert len(result.configs()) == 13
-    catalog = ssb_catalog(scale_factor=1, rows_per_sf=20_000, seed=9)
+    catalog = ssb_catalog(scale_factor=1,
+                          rows_per_sf=bench_profile.ssb_rows_per_sf, seed=9)
     engine = TCUDBEngine(catalog, mode=ExecutionMode.ANALYTIC)
     benchmark(lambda: engine.execute(SSB_QUERIES["Q3.1"]))

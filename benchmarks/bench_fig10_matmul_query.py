@@ -6,13 +6,14 @@ from repro.engine.base import ExecutionMode
 from repro.engine.tcudb import TCUDBEngine
 
 
-def test_fig10_series(print_series, benchmark):
-    result = run_fig10()
+def test_fig10_series(print_series, benchmark, bench_profile, verifier):
+    result = run_fig10(profile=bench_profile, verifier=verifier)
     print_series(result)
-    assert result.find("32768", "TCUDB").note == "blocked"
-    for dim in ("4096", "8192", "16384", "32768"):
-        assert (result.find(dim, "TCUDB").normalized
-                < result.find(dim, "YDB").normalized)
+    if 32768 in bench_profile.fig10_projected_dims:
+        assert result.find("32768", "TCUDB").note == "blocked"
+    for dim in bench_profile.fig10_projected_dims:
+        assert (result.find(str(dim), "TCUDB").normalized
+                < result.find(str(dim), "YDB").normalized)
     catalog = matmul_catalog(256, seed=10)
     engine = TCUDBEngine(catalog, mode=ExecutionMode.ANALYTIC)
     benchmark(lambda: engine.execute(MATMUL_QUERY))

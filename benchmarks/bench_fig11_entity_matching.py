@@ -10,8 +10,11 @@ from repro.workloads.em_blocking import beer_blocking_query
 
 
 @pytest.mark.parametrize("dataset", ["beer", "itunes", "itunes_scaled"])
-def test_fig11_series(print_series, benchmark, dataset):
-    result = run_fig11(dataset)
+def test_fig11_series(print_series, benchmark, bench_profile, verifier,
+                      dataset):
+    if dataset not in bench_profile.em_datasets:
+        pytest.skip(f"{dataset!r} not in profile {bench_profile.name!r}")
+    result = run_fig11(dataset, profile=bench_profile, verifier=verifier)
     print_series(result)
     for point in result.points:
         if point.engine == "TCUDB":

@@ -10,8 +10,9 @@ from repro.workloads.pagerank import PR_Q1
 
 
 @pytest.mark.parametrize("query", ["q1", "q2", "q3"])
-def test_fig12_series(print_series, benchmark, query):
-    result = run_fig12(query)
+def test_fig12_series(print_series, benchmark, bench_profile, verifier,
+                      query):
+    result = run_fig12(query, profile=bench_profile, verifier=verifier)
     print_series(result)
     for config in result.configs():
         assert (result.find(config, "TCUDB").seconds

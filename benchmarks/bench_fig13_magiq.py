@@ -5,10 +5,14 @@ from repro.datasets.graphs import reduced_road_graph
 from repro.engine.magiq import MAGiQEngine
 
 
-def test_fig13_series(print_series, benchmark):
-    result = run_fig13()
+def test_fig13_series(print_series, benchmark, bench_profile, verifier):
+    result = run_fig13(profile=bench_profile, verifier=verifier)
     print_series(result)
-    for size in ("1024", "2048", "4096"):
+    if bench_profile.name == "paper":
+        sizes = ("1024", "2048", "4096")
+    else:
+        sizes = tuple(str(s) for s in bench_profile.fig13_sizes[:2])
+    for size in sizes:
         assert (result.find(size, "TCUDB").normalized
                 <= result.find(size, "MAGiQ").normalized)
         assert (result.find(size, "MAGiQ").normalized

@@ -8,8 +8,8 @@ from repro.hardware.gpu import GPUDevice
 from repro.hardware.profiles import RTX_2080
 
 
-def test_fig14_series(print_series, benchmark):
-    result = run_fig14()
+def test_fig14_series(print_series, benchmark, bench_profile, verifier):
+    result = run_fig14(profile=bench_profile, verifier=verifier)
     print_series(result)
     for point in result.points:
         assert point.seconds > 1.0  # the newer GPU always wins

@@ -6,10 +6,10 @@ from repro.bench import run_table1
 from repro.hardware.gpu import GPUDevice
 
 
-def test_table1_series(print_series, benchmark):
-    result = run_table1(dims=[2048, 4096, 8192, 16384, 32768], sample=96)
+def test_table1_series(print_series, benchmark, bench_profile, verifier):
+    result = run_table1(profile=bench_profile, verifier=verifier)
     print_series(result)
-    for dim in (2048, 8192, 32768):
+    for dim in bench_profile.table1_dims:
         assert result.find(f"0/1 dim={dim}", "TCUDB fp16").seconds == 0.0
         assert result.find(f"+-2^31 dim={dim}", "TCUDB fp16").seconds < 0.1
     device = GPUDevice()

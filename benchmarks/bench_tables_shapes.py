@@ -1,21 +1,20 @@
 """Tables 2, 3 and 4: dataset-shape fidelity."""
 
 from repro.bench import run_table4, run_tables23
+from repro.datasets.em import beer_catalog
 from repro.datasets.graphs import reduced_road_graph
 
 
-def test_tables23_series(print_series, benchmark):
-    result = run_tables23()
+def test_tables23_series(print_series, benchmark, bench_profile, verifier):
+    result = run_tables23(profile=bench_profile, verifier=verifier)
     print_series(result)
     for point in result.points:
         assert point.seconds == point.paper_value  # distincts exact
-    from repro.datasets.em import beer_catalog
-
     benchmark(lambda: beer_catalog(seed=23))
 
 
-def test_table4_series(print_series, benchmark):
-    result = run_table4()
+def test_table4_series(print_series, benchmark, bench_profile, verifier):
+    result = run_table4(profile=bench_profile, verifier=verifier)
     print_series(result)
     for point in result.points:
         if point.paper_value:

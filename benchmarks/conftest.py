@@ -1,32 +1,89 @@
 """Benchmark-suite helpers.
 
 Every module regenerates one table/figure of the paper: it runs the
-experiment once (printing the ours-vs-paper series) and lets
-pytest-benchmark measure a representative engine invocation.  Run with
-``pytest benchmarks/ --benchmark-only -s`` to see the series tables.
+experiment once (printing the ours-vs-paper series and its verification
+summary) and lets pytest-benchmark measure a representative engine
+invocation.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the series tables.
+
+The suite runs through the scale-profile machinery (docs/benchmarking.md):
+``--bench-profile smoke|paper|stress`` (or the ``BENCH_PROFILE`` env var)
+sizes every experiment, and profiles with verification enabled (smoke)
+replay each benchmarked query against the Reference oracle — any
+mismatch fails the module's test.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench.harness import ExperimentResult, geometric_mean_ratio
+from repro.bench.scale import PROFILES, ScaleProfile, get_profile
+from repro.bench.verify import OracleVerifier
 
 _PRINTED: set[str] = set()
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-profile", default=None, choices=sorted(PROFILES),
+        help="scale profile for the benchmark suite "
+             "(default: $BENCH_PROFILE or 'paper')",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_profile(request) -> ScaleProfile:
+    name = (request.config.getoption("--bench-profile")
+            or os.environ.get("BENCH_PROFILE")
+            or "paper")
+    return get_profile(name)
+
+
+@pytest.fixture(scope="session")
+def verifier(bench_profile) -> OracleVerifier:
+    """Session-wide oracle verifier (a no-op recorder unless the active
+    profile enables verification, e.g. ``--bench-profile smoke``)."""
+    return OracleVerifier(enabled=bench_profile.verify)
+
+
+def assert_verified(result: ExperimentResult) -> None:
+    """No benchmarked point may disagree with the Reference oracle."""
+    bad = result.mismatches()
+    assert not bad, "oracle mismatches: " + "; ".join(
+        f"{p.config}/{p.engine}: {p.verify_note}" for p in bad
+    )
+
+
 def report(result: ExperimentResult) -> None:
-    """Print an experiment's series once per session."""
-    if result.experiment_id in _PRINTED:
-        return
-    _PRINTED.add(result.experiment_id)
-    print()
-    print(result.to_text())
-    ratio = geometric_mean_ratio(result)
-    if ratio is not None:
-        print(f"geometric-mean ours/paper ratio: {ratio:.2f}")
+    """Print an experiment's series once per session and assert that no
+    verified point mismatched the oracle."""
+    if result.experiment_id not in _PRINTED:
+        _PRINTED.add(result.experiment_id)
+        print()
+        print(result.to_text())
+        ratio = geometric_mean_ratio(result)
+        if ratio is not None:
+            print(f"geometric-mean ours/paper ratio: {ratio:.2f}")
+    assert_verified(result)
 
 
 @pytest.fixture(scope="session")
 def print_series():
     return report
+
+
+try:  # pragma: no cover - exercised only without pytest-benchmark
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+    @pytest.fixture
+    def benchmark():
+        """Minimal stand-in when pytest-benchmark is not installed: run
+        the callable once so the timed path still executes."""
+
+        def run(fn, *args, **kwargs):
+            return fn(*args, **kwargs)
+
+        return run

@@ -1,4 +1,6 @@
-"""Experiment harness: one runner per paper table/figure plus ablations."""
+"""Experiment harness: one runner per paper table/figure plus ablations,
+scale profiles, per-point oracle verification and machine-readable
+reports (see docs/benchmarking.md)."""
 
 from repro.bench.exp_ablations import (
     run_ablation_density_switch,
@@ -21,11 +23,19 @@ from repro.bench.harness import (
     SeriesPoint,
     geometric_mean_ratio,
 )
+from repro.bench.report import BenchReport
+from repro.bench.scale import PROFILES, ScaleProfile, get_profile
+from repro.bench.verify import OracleVerifier
 
 __all__ = [
+    "PROFILES",
+    "BenchReport",
     "ExperimentResult",
+    "OracleVerifier",
+    "ScaleProfile",
     "SeriesPoint",
     "geometric_mean_ratio",
+    "get_profile",
     "run_ablation_density_switch",
     "run_ablation_fused_agg",
     "run_ablation_precision",

@@ -9,6 +9,8 @@
 from __future__ import annotations
 
 from repro.bench.harness import ExperimentResult
+from repro.bench.scale import ScaleProfile
+from repro.bench.verify import OracleVerifier
 from repro.datasets.microbench import (
     QUERY_Q1,
     QUERY_Q3,
@@ -16,13 +18,14 @@ from repro.datasets.microbench import (
 )
 from repro.engine.base import ExecutionMode
 from repro.engine.tcudb import Strategy, TCUDBEngine, TCUDBOptions
-from repro.engine.ydb import YDBEngine
 from repro.hardware.gpu import GPUDevice
 from repro.tensor.precision import Precision
 
 
 def run_ablation_fused_agg(
-    sizes: list[int] | None = None, n_distinct: int = 32, seed: int = 41
+    sizes: list[int] | None = None, n_distinct: int | None = None,
+    seed: int = 41, *, profile: ScaleProfile | None = None,
+    verifier: OracleVerifier | None = None,
 ) -> ExperimentResult:
     """Fused single-matmul Q3 vs 'TCU join, then GPU group-by'.
 
@@ -30,7 +33,10 @@ def run_ablation_fused_agg(
     conventional group-by aggregation over the pairs — the structure
     YDB uses and TCUDB's Lemma-3.1 encoding eliminates.
     """
-    sizes = sizes or [4096, 8192, 16384, 32768]
+    sizes = sizes or list(profile.ablation_sizes if profile
+                          else (4096, 8192, 16384, 32768))
+    if n_distinct is None:
+        n_distinct = profile.micro_distinct if profile else 32
     result = ExperimentResult(
         "ablation_fused_agg",
         "Q3: fused TCU Join+GroupBy+Agg vs TCU join + GPU aggregation",
@@ -46,21 +52,33 @@ def run_ablation_fused_agg(
         groupby_seconds = device.cuda.groupby_seconds(pairs, n_distinct)
         unfused_seconds = join_only.seconds + groupby_seconds
         config = f"{size},{n_distinct}"
-        result.add(config, "fused (1 matmul)", fused.seconds)
-        result.add(config, "join + group-by", unfused_seconds)
-        result.find(config, "fused (1 matmul)").normalized = 1.0
-        result.find(config, "join + group-by").normalized = (
-            unfused_seconds / fused.seconds
-        )
+        fused_point = result.add(config, "fused (1 matmul)", fused.seconds)
+        unfused_point = result.add(config, "join + group-by",
+                                   unfused_seconds)
+        fused_point.normalized = 1.0
+        unfused_point.normalized = unfused_seconds / fused.seconds
+        if verifier is not None:
+            verifier.verify_query(fused_point, "TCUDB", catalog, QUERY_Q3,
+                                  device=device)
+            # The unfused time composes the measured Q1 join with a
+            # modeled group-by; verifying the Q1 replay covers the
+            # measured half of the composition.
+            verifier.verify_query(unfused_point, "TCUDB", catalog,
+                                  QUERY_Q1, device=device)
     result.notes.append("normalized column = slowdown of the unfused plan")
     return result
 
 
 def run_ablation_density_switch(
-    distincts: list[int] | None = None, n_records: int = 4096, seed: int = 42
+    distincts: list[int] | None = None, n_records: int | None = None,
+    seed: int = 42, *, profile: ScaleProfile | None = None,
+    verifier: OracleVerifier | None = None,
 ) -> ExperimentResult:
     """Dense vs sparse vs optimizer-chosen plan across matrix densities."""
-    distincts = distincts or [32, 256, 1024, 4096, 16384]
+    distincts = distincts or list(profile.ablation_distincts if profile
+                                  else (32, 256, 1024, 4096, 16384))
+    if n_records is None:
+        n_records = profile.fig8_records if profile else 4096
     result = ExperimentResult(
         "ablation_density_switch",
         "Q1 plan choice across input densities (1/#distinct)",
@@ -83,6 +101,9 @@ def run_ablation_density_switch(
             point = result.add(f"{n_records},{k}", label, run.seconds,
                                note=note)
             point.normalized = run.seconds
+            if verifier is not None:
+                verifier.verify_query(point, "TCUDB", catalog, QUERY_Q1,
+                                      device=device, options=options)
     result.notes.append(
         "normalized column = simulated seconds; the optimizer should track "
         "the cheaper variant on both sides of the density threshold"
@@ -91,12 +112,15 @@ def run_ablation_density_switch(
 
 
 def run_ablation_precision(
-    sizes: list[int] | None = None, n_distinct: int = 256, seed: int = 43
+    sizes: list[int] | None = None, n_distinct: int = 256, seed: int = 43,
+    *, profile: ScaleProfile | None = None,
+    verifier: OracleVerifier | None = None,
 ) -> ExperimentResult:
     """End-to-end cost of forcing each TCU precision on an exact
     (indicator) workload: compact types move less data and multiply
     faster, at zero accuracy cost for 0/1 matrices."""
-    sizes = sizes or [4096, 16384]
+    sizes = sizes or list(profile.ablation_sizes if profile
+                          else (4096, 16384))
     result = ExperimentResult(
         "ablation_precision", "Q1 end-to-end cost by forced precision"
     )
@@ -112,16 +136,24 @@ def run_ablation_precision(
             point = result.add(f"{size},{n_distinct}", precision.value,
                                run.seconds)
             point.normalized = run.seconds
+            if verifier is not None:
+                verifier.verify_query(point, "TCUDB", catalog, QUERY_Q1,
+                                      device=device, options=options)
     result.notes.append("normalized column = simulated seconds")
     return result
 
 
 def run_ablation_transform_location(
-    sizes: list[int] | None = None, n_distinct: int = 32, seed: int = 44
+    sizes: list[int] | None = None, n_distinct: int | None = None,
+    seed: int = 44, *, profile: ScaleProfile | None = None,
+    verifier: OracleVerifier | None = None,
 ) -> ExperimentResult:
     """GPU-assisted vs forced-CPU table->matrix transformation
     (Equations 1 vs 2)."""
-    sizes = sizes or [4096, 32768]
+    sizes = sizes or list(profile.ablation_sizes if profile
+                          else (4096, 32768))
+    if n_distinct is None:
+        n_distinct = profile.micro_distinct if profile else 32
     result = ExperimentResult(
         "ablation_transform_location",
         "Q3 transformation location: optimizer (GPU allowed) vs CPU-only",
@@ -139,5 +171,8 @@ def run_ablation_transform_location(
             point = result.add(f"{size},{n_distinct}", label, run.seconds,
                                breakdown=run.breakdown)
             point.normalized = run.seconds
+            if verifier is not None:
+                verifier.verify_query(point, "TCUDB", catalog, QUERY_Q3,
+                                      device=device, options=options)
     result.notes.append("normalized column = simulated seconds")
     return result

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.bench.harness import ExperimentResult
+from repro.bench.scale import ScaleProfile
+from repro.bench.verify import OracleVerifier, skip
 from repro.datasets.microbench import (
     QUERY_Q1,
     QUERY_Q3,
@@ -81,24 +85,56 @@ PAPER_FIG14 = {
 }
 
 
-def run_fig3(dims: list[int] | None = None) -> ExperimentResult:
+def run_fig3(
+    dims: list[int] | None = None,
+    *,
+    profile: ScaleProfile | None = None,
+    verifier: OracleVerifier | None = None,
+) -> ExperimentResult:
     """Figure 3: square GEMM on CUDA cores vs TCUs."""
-    dims = dims or [1024, 2048, 4096, 8192, 16384]
+    dims = dims or list(profile.fig3_dims if profile
+                        else (1024, 2048, 4096, 8192, 16384))
     device = GPUDevice(RTX_3090)
     result = ExperimentResult(
         "fig3", "Matrix multiplication: CUDA cores vs TCUs (relative time)"
     )
+    rng = np.random.default_rng(3)
     for dim in dims:
-        result.add(
+        cuda_point = result.add(
             str(dim), "CUDA cores",
             device.cuda.matmul_seconds(dim, dim, dim),
             paper_value=PAPER_FIG3["CUDA cores"].get(dim),
         )
-        result.add(
+        tcu_point = result.add(
             str(dim), "TCUs",
             device.tcu.matmul_seconds(dim, dim, dim),
             paper_value=PAPER_FIG3["TCUs"].get(dim),
         )
+        if verifier is not None and verifier.enabled:
+            # No SQL behind these points: check the numerics of the unit
+            # being timed on a sampled block with the full reduction dim.
+            sample = 16
+            a = rng.random((sample, dim))
+            b = rng.random((dim, sample))
+            exact = a @ b
+            cuda_err = float(np.max(np.abs(device.cuda.matmul(a, b) - exact)
+                                    / np.abs(exact)))
+            # CUDA cores compute in fp32 (fp32 accumulate), the TCUs in
+            # fp16 with an fp32 accumulator; bound each at its precision.
+            verifier.verify_check(
+                cuda_point, cuda_err < 1e-4, "numeric",
+                f"fp32 matmul rel err {cuda_err:.2e}",
+            )
+            tcu_err = float(np.max(np.abs(device.tcu.matmul(a, b) - exact)
+                                   / np.abs(exact)))
+            verifier.verify_check(
+                tcu_point, tcu_err < 1e-2, "numeric",
+                f"fp16 matmul rel err {tcu_err:.2e}",
+            )
+        elif verifier is not None:
+            # Record why the points are unchecked, like the SQL paths do.
+            skip(cuda_point, "unverified (profile)")
+            skip(tcu_point, "unverified (profile)")
     result.normalize(str(dims[0]), "CUDA cores")
     return result
 
@@ -114,9 +150,14 @@ def _engines_for(catalog, device=None):
 
 
 def run_fig7(query: str, sizes: list[int] | None = None,
-             n_distinct: int = 32, seed: int = 7) -> ExperimentResult:
+             n_distinct: int | None = None, seed: int = 7, *,
+             profile: ScaleProfile | None = None,
+             verifier: OracleVerifier | None = None) -> ExperimentResult:
     """Figure 7: Q1/Q3/Q4 vs record count at 32 distinct values."""
-    sizes = sizes or [4096, 8192, 16384, 32768]
+    sizes = sizes or list(profile.micro_sizes if profile
+                          else (4096, 8192, 16384, 32768))
+    if n_distinct is None:
+        n_distinct = profile.micro_distinct if profile else 32
     sql = QUERIES[query]
     result = ExperimentResult(
         f"fig7{'abc'[list(QUERIES).index(query)]}",
@@ -125,21 +166,31 @@ def run_fig7(query: str, sizes: list[int] | None = None,
     paper = PAPER_FIG7[query]
     for size in sizes:
         catalog = microbench_catalog(size, n_distinct, seed)
-        for name, engine in _engines_for(catalog).items():
+        engines = _engines_for(catalog)
+        for name, engine in engines.items():
             run = engine.execute(sql)
-            result.add(
+            point = result.add(
                 f"{size},{n_distinct}", name, run.seconds,
                 paper_value=paper[name].get(size),
                 breakdown=run.breakdown,
             )
+            if verifier is not None:
+                verifier.verify_query(point, name, catalog, sql,
+                                      device=engines["YDB"].device)
     result.normalize(f"{sizes[0]},{n_distinct}", "YDB")
     return result
 
 
 def run_fig8(query: str, distincts: list[int] | None = None,
-             n_records: int = 4096, seed: int = 8) -> ExperimentResult:
+             n_records: int | None = None, seed: int = 8, *,
+             profile: ScaleProfile | None = None,
+             verifier: OracleVerifier | None = None) -> ExperimentResult:
     """Figure 8: Q1/Q3/Q4 vs #distinct values at 4096 records."""
-    distincts = distincts or [32, 64, 128, 256, 512, 1024, 2048, 4096]
+    distincts = distincts or list(profile.fig8_distincts if profile
+                                  else (32, 64, 128, 256, 512, 1024, 2048,
+                                        4096))
+    if n_records is None:
+        n_records = profile.fig8_records if profile else 4096
     sql = QUERIES[query]
     result = ExperimentResult(
         f"fig8{'abc'[list(QUERIES).index(query)]}",
@@ -157,10 +208,11 @@ def run_fig8(query: str, distincts: list[int] | None = None,
         # fp16 matches the paper's measured operator; the adaptive
         # optimizer would pick int4 for indicator matrices (see the
         # precision ablation).
+        forced = TCUDBOptions(force_strategy=Strategy.DENSE,
+                              force_precision=Precision.FP16)
         engines["TCUDB"] = TCUDBEngine(
             catalog, device=device, mode=ExecutionMode.ANALYTIC,
-            options=TCUDBOptions(force_strategy=Strategy.DENSE,
-                                 force_precision=Precision.FP16),
+            options=forced,
         )
         chooser = TCUDBEngine(catalog, device=device,
                               mode=ExecutionMode.ANALYTIC)
@@ -174,28 +226,38 @@ def run_fig8(query: str, distincts: list[int] | None = None,
                     chosen = "fallback"
                 if chosen and chosen != "dense":
                     note = f"optimizer: {chosen}"
-            result.add(
+            point = result.add(
                 f"{n_records},{k}", name, run.seconds,
                 paper_value=paper[name].get(k),
                 breakdown=run.breakdown, note=note,
             )
+            if verifier is not None:
+                verifier.verify_query(
+                    point, name, catalog, sql, device=device,
+                    options=forced if name == "TCUDB" else None,
+                )
     result.normalize(f"{n_records},{distincts[0]}", "YDB")
     return result
 
 
-def run_fig14(sizes: list[int] | None = None, n_distinct: int = 32,
-              seed: int = 14) -> ExperimentResult:
+def run_fig14(sizes: list[int] | None = None, n_distinct: int | None = None,
+              seed: int = 14, *, profile: ScaleProfile | None = None,
+              verifier: OracleVerifier | None = None) -> ExperimentResult:
     """Figure 14: RTX 3090 over RTX 2080 speedup per query/engine."""
-    sizes = sizes or [4096, 8192, 16384, 32768]
+    sizes = sizes or list(profile.micro_sizes if profile
+                          else (4096, 8192, 16384, 32768))
+    if n_distinct is None:
+        n_distinct = profile.micro_distinct if profile else 32
     result = ExperimentResult(
-        "fig14", "Generation-over-generation speedup (RTX 3090 / RTX 2080)"
+        "fig14", "Generation-over-generation speedup (RTX 3090 / RTX 2080)",
+        unit="ratio",
     )
     for query, sql in QUERIES.items():
         for size in sizes:
             catalog = microbench_catalog(size, n_distinct, seed)
             times: dict[str, dict[str, float]] = {}
-            for gpu_name, profile in (("3090", RTX_3090), ("2080", RTX_2080)):
-                device = GPUDevice(profile)
+            for gpu_name, gpu in (("3090", RTX_3090), ("2080", RTX_2080)):
+                device = GPUDevice(gpu)
                 engines = _engines_for(catalog, device)
                 times[gpu_name] = {
                     name: engines[name].execute(sql).seconds
@@ -208,4 +270,9 @@ def run_fig14(sizes: list[int] | None = None, n_distinct: int = 32,
                     paper_value=PAPER_FIG14[query][name].get(size),
                 )
                 point.normalized = speedup  # already a ratio
+                if verifier is not None:
+                    # Results are device-independent; verifying the 3090
+                    # replay covers both legs of the ratio.
+                    verifier.verify_query(point, name, catalog, sql,
+                                          device=GPUDevice(RTX_3090))
     return result

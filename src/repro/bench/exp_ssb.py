@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 from repro.bench.harness import ExperimentResult
+from repro.bench.scale import ScaleProfile
+from repro.bench.verify import OracleVerifier
 from repro.datasets.ssb import ssb_catalog
 from repro.engine.base import ExecutionMode
 from repro.engine.monetdb import MonetDBEngine
@@ -30,14 +32,19 @@ PAPER_FIG9 = {
 def run_fig9(
     scale_factor: int,
     queries: tuple[str, ...] = FLIGHT_REPRESENTATIVES,
-    rows_per_sf: int = 20_000,
+    rows_per_sf: int | None = None,
     seed: int = 9,
+    *,
+    profile: ScaleProfile | None = None,
+    verifier: OracleVerifier | None = None,
 ) -> ExperimentResult:
     """One panel of Figure 9 (one scale factor, the four flight heads).
 
     Pass ``queries=tuple(SSB_QUERIES)`` to run the full 13-query suite
     (all are supported, per Section 5.3).
     """
+    if rows_per_sf is None:
+        rows_per_sf = profile.ssb_rows_per_sf if profile else 20_000
     catalog = ssb_catalog(scale_factor=scale_factor, rows_per_sf=rows_per_sf,
                           seed=seed)
     device = GPUDevice()
@@ -68,6 +75,9 @@ def run_fig9(
                 note="fallback" if run.extra.get("fallback_reason") else "",
             )
             point.normalized = run.seconds / baseline
+            if verifier is not None:
+                verifier.verify_query(point, name, catalog,
+                                      SSB_QUERIES[query_id], device=device)
     result.notes.append(
         f"rows_per_sf={rows_per_sf} (full dbgen would be 6,000,000; "
         "relative results are row-count invariant in analytic mode)"

@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bench.harness import ExperimentResult
+from repro.bench.scale import ScaleProfile
+from repro.bench.verify import OracleVerifier
 from repro.datasets.em import (
     BEER_DISTINCTS,
     ITUNES_DISTINCTS,
@@ -28,10 +30,12 @@ def _measured_distincts(catalog, attributes) -> dict[str, int]:
     return out
 
 
-def run_tables23(seed: int = 23) -> ExperimentResult:
+def run_tables23(seed: int = 23, *, profile: ScaleProfile | None = None,
+                 verifier: OracleVerifier | None = None) -> ExperimentResult:
     """Tables 2-3: per-attribute distinct counts of the EM datasets."""
     result = ExperimentResult(
-        "tables2_3", "EM dataset distinct-value counts (ours vs paper)"
+        "tables2_3", "EM dataset distinct-value counts (ours vs paper)",
+        unit="count",
     )
     for dataset, catalog, targets in (
         ("beer", beer_catalog(seed), BEER_DISTINCTS),
@@ -46,14 +50,30 @@ def run_tables23(seed: int = 23) -> ExperimentResult:
                 float(measured[attribute]), paper_value=float(target),
             )
             point.normalized = float(measured[attribute])
+            if verifier is not None:
+                # Recount via a python set (independent of np.union1d).
+                table_a = catalog.get("table_a")
+                table_b = catalog.get("table_b")
+                recount = len(
+                    set(table_a.column(attribute).values().tolist())
+                    | set(table_b.column(attribute).values().tolist())
+                )
+                verifier.verify_check(
+                    point, recount == measured[attribute], "shape",
+                    f"set recount {recount} vs union1d "
+                    f"{measured[attribute]}",
+                )
     return result
 
 
-def run_table4(sizes: list[int] | None = None, seed: int = 4) -> ExperimentResult:
+def run_table4(sizes: list[int] | None = None, seed: int = 4, *,
+               profile: ScaleProfile | None = None,
+               verifier: OracleVerifier | None = None) -> ExperimentResult:
     """Table 4: node/edge counts of the reduced road graphs."""
     sizes = sizes or sorted(PAPER_TABLE4)
     result = ExperimentResult(
-        "table4", "Reduced road-network graphs: edges per node count"
+        "table4", "Reduced road-network graphs: edges per node count",
+        unit="count",
     )
     for size in sizes:
         graph = reduced_road_graph(size, seed)
@@ -62,6 +82,20 @@ def run_table4(sizes: list[int] | None = None, seed: int = 4) -> ExperimentResul
             paper_value=float(PAPER_TABLE4.get(size, 0)) or None,
         )
         point.normalized = float(graph.n_edges)
+        if verifier is not None:
+            valid = (
+                graph.src.size == graph.n_edges
+                and graph.dst.size == graph.n_edges
+                and (graph.src.size == 0
+                     or (0 <= int(graph.src.min())
+                         and int(graph.src.max()) < graph.n_nodes
+                         and 0 <= int(graph.dst.min())
+                         and int(graph.dst.max()) < graph.n_nodes))
+            )
+            verifier.verify_check(
+                point, bool(valid), "shape",
+                f"{graph.n_edges} edges over {graph.n_nodes} nodes",
+            )
     result.notes.append(
         "paper values come from subsampling the SNAP Pennsylvania road "
         "network; ours from the synthetic road-network substitute"

@@ -26,6 +26,40 @@ class SeriesPoint:
     paper_value: float | None = None  # the published normalized number
     breakdown: dict[str, float] = field(default_factory=dict)
     note: str = ""
+    # Oracle verification outcome (repro.bench.verify): True/False once
+    # checked, None when the profile skipped verification.
+    verified: bool | None = None
+    verify_kind: str = ""  # "oracle" | "numeric" | "shape" | "model"
+    verify_note: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "engine": self.engine,
+            "seconds": self.seconds,
+            "normalized": self.normalized,
+            "paper_value": self.paper_value,
+            "breakdown": dict(self.breakdown),
+            "note": self.note,
+            "verified": self.verified,
+            "verify_kind": self.verify_kind,
+            "verify_note": self.verify_note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SeriesPoint":
+        return cls(
+            config=data["config"],
+            engine=data["engine"],
+            seconds=data["seconds"],
+            normalized=data.get("normalized"),
+            paper_value=data.get("paper_value"),
+            breakdown=dict(data.get("breakdown") or {}),
+            note=data.get("note", ""),
+            verified=data.get("verified"),
+            verify_kind=data.get("verify_kind", ""),
+            verify_note=data.get("verify_note", ""),
+        )
 
 
 @dataclass
@@ -36,6 +70,10 @@ class ExperimentResult:
     title: str
     points: list[SeriesPoint] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    # What ``seconds`` measures: "seconds" (simulated time, eligible for
+    # the perf-regression gate), "percent" (error rates), "count"
+    # (dataset shapes) or "ratio" (speedup factors).
+    unit: str = "seconds"
 
     def add(
         self,
@@ -83,6 +121,46 @@ class ExperimentResult:
                 seen.append(point.config)
         return seen
 
+    # -- verification bookkeeping ------------------------------------------ #
+
+    def verification_summary(self) -> dict[str, int]:
+        """Counts of verified / mismatched / unchecked points."""
+        summary = {"verified": 0, "mismatched": 0, "unchecked": 0}
+        for point in self.points:
+            if point.verified is True:
+                summary["verified"] += 1
+            elif point.verified is False:
+                summary["mismatched"] += 1
+            else:
+                summary["unchecked"] += 1
+        return summary
+
+    def mismatches(self) -> list[SeriesPoint]:
+        return [p for p in self.points if p.verified is False]
+
+    # -- serialization ----------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "unit": self.unit,
+            "points": [point.to_dict() for point in self.points],
+            "notes": list(self.notes),
+            "fidelity_geomean": geometric_mean_ratio(self),
+            "verification": self.verification_summary(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data.get("title", ""),
+            points=[SeriesPoint.from_dict(p) for p in data.get("points", [])],
+            notes=list(data.get("notes", [])),
+            unit=data.get("unit", "seconds"),
+        )
+
     # -- rendering --------------------------------------------------------- #
 
     def to_text(self) -> str:
@@ -110,6 +188,8 @@ class ExperimentResult:
                     cell += f" | {point.paper_value:.3g}"
                 if point.note:
                     cell += f" ({point.note})"
+                if point.verified is False:
+                    cell += " !MISMATCH"
                 row.append(cell)
             rows.append(row)
         widths = [
@@ -127,19 +207,33 @@ class ExperimentResult:
             for row in rows
         )
         lines.extend(f"note: {n}" for n in self.notes)
+        summary = self.verification_summary()
+        if summary["verified"] or summary["mismatched"]:
+            lines.append(
+                "verification: {verified} ok, {mismatched} mismatched, "
+                "{unchecked} unchecked".format(**summary)
+            )
         return "\n".join(lines)
+
+
+def geomean(values) -> float | None:
+    """Geometric mean, or ``None`` for an empty input.  Non-positive
+    values are clamped to 1e-12 so one zero cannot NaN a whole gate."""
+    import math
+
+    values = list(values)
+    if not values:
+        return None
+    return math.exp(
+        sum(math.log(max(v, 1e-12)) for v in values) / len(values)
+    )
 
 
 def geometric_mean_ratio(result: ExperimentResult) -> float | None:
     """Geometric mean of ours/paper across points that have both — the
     headline fidelity metric EXPERIMENTS.md reports per experiment."""
-    import math
-
-    ratios = [
+    return geomean(
         point.normalized / point.paper_value
         for point in result.points
         if point.normalized and point.paper_value
-    ]
-    if not ratios:
-        return None
-    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    )

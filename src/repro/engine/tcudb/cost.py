@@ -28,7 +28,7 @@ from repro.hardware.gpu import GPUDevice
 from repro.hardware.profiles import HostProfile
 from repro.tensor.matmul import msplit_gemm_seconds
 from repro.tensor.precision import Precision
-from repro.tensor.tiled import TILE, estimate_tile_pairs
+from repro.tensor.tiled import estimate_tile_pairs
 
 
 class Strategy(enum.Enum):

@@ -41,7 +41,6 @@ from repro.engine.tcudb.patterns import (
 from repro.hardware.gpu import GPUDevice
 from repro.tensor.coo import COOMatrix
 from repro.tensor.matmul import msplit_gemm
-from repro.tensor.precision import Precision
 from repro.tensor.tiled import TiledMatrix
 
 # Largest dense matrix/grid the driver will actually materialize for

@@ -22,9 +22,9 @@ from repro.common.errors import UnsupportedQueryError
 from repro.common.timing import STAGE_FILL, TimingBreakdown
 from repro.engine.base import Engine, ExecutionMode, QueryResult
 from repro.engine.physical import apply_order_limit
-from repro.engine.relational import equi_join_count, equi_join_indices
+from repro.engine.relational import equi_join_count
 from repro.engine.tcudb.codegen import generate_program
-from repro.engine.tcudb.cost import OperatorGeometry, PlanCost, Strategy
+from repro.engine.tcudb.cost import OperatorGeometry, Strategy
 from repro.engine.tcudb.driver import (
     CompositeKey,
     OperatorRun,
@@ -324,8 +324,6 @@ class TCUDBEngine(Engine):
         if run.arrays is not None:
             arrays, names = self._apply_order_limit(bound, run.arrays,
                                                     list(run.names))
-            exprs = [None] * len(names)
-            group_cols = {c.key: c for c in pattern.group_by}
             bycol = []
             for item in pattern.outputs:
                 from repro.engine.tcudb.patterns import GroupRef

@@ -11,7 +11,7 @@ agree — exactly the property the paper's sampling process establishes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.gpu import GPUDevice
 from repro.hardware.profiles import I7_7700K, HostProfile

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 AGGREGATE_FUNCS = ("sum", "count", "avg", "min", "max")
 COMPARISON_OPS = ("=", "<", ">", "<=", ">=", "<>", "!=")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sql.ast_nodes import Expr, OrderItem, Predicate, SelectItem
+from repro.sql.ast_nodes import OrderItem, Predicate, SelectItem
 from repro.sql.binder import BoundColumn, JoinPredicate
 
 

@@ -1,5 +1,10 @@
 """Shared helpers for the differential / fuzz suites.
 
+The canonical fp-tolerant row-multiset comparison lives in
+:mod:`repro.bench.verify` (the benchmark subsystem replays every
+benchmarked query through the same logic); this module wraps it with
+pytest-friendly assertions.
+
 Results are compared as *sorted row multisets*: rows are sorted by their
 exact cells (strings, ints) first and rounded float cells last, so that
 fp16-tolerant aggregate cells cannot destabilize the pairing, then each
@@ -8,32 +13,11 @@ paired row is compared cell-by-cell within a relative tolerance.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
-
-def canonical_sorted(rows: list[tuple]) -> list[tuple]:
-    """Rows sorted by exact cells first, rounded float cells last."""
-
-    def key(row: tuple):
-        exact: list[str] = []
-        approx: list[str] = []
-        for cell in row:
-            if isinstance(cell, (bool, np.bool_)):
-                exact.append(str(bool(cell)))
-            elif isinstance(cell, (int, np.integer)):
-                exact.append(f"{int(cell):+021d}")
-            elif isinstance(cell, (float, np.floating)):
-                approx.append(f"{float(cell):+.6e}")
-            else:
-                exact.append(str(cell))
-        return (exact, approx)
-
-    return sorted((tuple(row) for row in rows), key=key)
-
-
-def result_rows(result) -> list[tuple]:
-    return canonical_sorted(result.require_table().rows())
+from repro.bench.verify import (  # noqa: F401  (re-exported for suites)
+    canonical_sorted,
+    result_rows,
+    rows_match,
+)
 
 
 def assert_rows_match(
@@ -44,21 +28,9 @@ def assert_rows_match(
     context: str = "",
 ):
     """Both row multisets are identical within fp tolerance."""
+    error = rows_match(got_rows, expected_rows, rel=rel, abs_tol=abs_tol)
     suffix = f"\n  query: {context}" if context else ""
-    assert len(got_rows) == len(expected_rows), (
-        f"row count {len(got_rows)} != {len(expected_rows)}{suffix}"
-    )
-    for got, expected in zip(got_rows, expected_rows):
-        assert len(got) == len(expected), (
-            f"row width {len(got)} != {len(expected)}{suffix}"
-        )
-        for g, e in zip(got, expected):
-            if isinstance(g, str) or isinstance(e, str):
-                assert g == e, f"{g!r} != {e!r}{suffix}"
-            else:
-                assert g == pytest.approx(e, rel=rel, abs=abs_tol), (
-                    f"{g!r} != {e!r} (rel={rel}){suffix}"
-                )
+    assert error is None, f"{error}{suffix}"
 
 
 def assert_results_match(got, expected, rel: float = 1e-9, context: str = ""):

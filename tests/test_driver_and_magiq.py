@@ -5,7 +5,7 @@ import pytest
 
 from repro.engine.base import ExecutionMode
 from repro.engine.magiq import GraphBLAS, MAGiQEngine
-from repro.engine.tcudb.cost import Strategy, estimate_dense
+from repro.engine.tcudb.cost import estimate_dense
 from repro.engine.tcudb.driver import (
     NUMERIC_CELL_LIMIT,
     CompositeKey,
@@ -13,7 +13,6 @@ from repro.engine.tcudb.driver import (
     TCUDriver,
 )
 from repro.engine.tcudb.transform import union_key_domain
-from repro.hardware.gpu import GPUDevice
 from repro.hardware.profiles import I7_7700K
 from repro.tensor.csr import CSRMatrix
 from repro.tensor.coo import COOMatrix

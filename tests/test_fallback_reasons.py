@@ -16,7 +16,6 @@ import pytest
 from differential_utils import assert_results_match, result_rows
 from repro.common.errors import ExecutionError, UnsupportedQueryError
 from repro.datasets.microbench import microbench_catalog
-from repro.engine import create_engine
 from repro.engine.reference import ReferenceEngine
 from repro.engine.tcudb.engine import TCUDBEngine
 from repro.storage import Catalog, Table

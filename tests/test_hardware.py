@@ -5,7 +5,6 @@ import pytest
 
 from repro.common.errors import ConfigError, DeviceMemoryError, PrecisionError
 from repro.hardware import (
-    GPUDevice,
     I7_7700K,
     RTX_2080,
     RTX_3090,

@@ -6,10 +6,8 @@ import pytest
 from repro.common.errors import BindError, LexError, ParseError, PlanError
 from repro.sql import (
     Aggregate,
-    AggregateCall,
     Between,
     BinaryOp,
-    ColumnRef,
     Comparison,
     Environment,
     InList,
