@@ -8,7 +8,7 @@
 
 from __future__ import annotations
 
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, annotate_tcu_point
 from repro.bench.scale import ScaleProfile
 from repro.bench.verify import OracleVerifier
 from repro.datasets.microbench import (
@@ -53,6 +53,7 @@ def run_ablation_fused_agg(
         unfused_seconds = join_only.seconds + groupby_seconds
         config = f"{size},{n_distinct}"
         fused_point = result.add(config, "fused (1 matmul)", fused.seconds)
+        annotate_tcu_point(fused_point, fused)
         unfused_point = result.add(config, "join + group-by",
                                    unfused_seconds)
         fused_point.normalized = 1.0
@@ -100,6 +101,7 @@ def run_ablation_density_switch(
                 note = "fallback"
             point = result.add(f"{n_records},{k}", label, run.seconds,
                                note=note)
+            annotate_tcu_point(point, run)
             point.normalized = run.seconds
             if verifier is not None:
                 verifier.verify_query(point, "TCUDB", catalog, QUERY_Q1,
@@ -135,6 +137,7 @@ def run_ablation_precision(
             run = engine.execute(QUERY_Q1)
             point = result.add(f"{size},{n_distinct}", precision.value,
                                run.seconds)
+            annotate_tcu_point(point, run)
             point.normalized = run.seconds
             if verifier is not None:
                 verifier.verify_query(point, "TCUDB", catalog, QUERY_Q1,
@@ -170,6 +173,7 @@ def run_ablation_transform_location(
             run = engine.execute(QUERY_Q3)
             point = result.add(f"{size},{n_distinct}", label, run.seconds,
                                breakdown=run.breakdown)
+            annotate_tcu_point(point, run)
             point.normalized = run.seconds
             if verifier is not None:
                 verifier.verify_query(point, "TCUDB", catalog, QUERY_Q3,

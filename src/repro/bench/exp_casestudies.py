@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, annotate_tcu_point
 from repro.bench.scale import ScaleProfile
 from repro.bench.verify import OracleVerifier
 from repro.datasets.em import beer_catalog, itunes_catalog
@@ -114,6 +114,8 @@ def run_fig10(
             run = engine.execute(MATMUL_QUERY)
             measured[name][dim] = run.seconds
             point = result.add(f"{dim} (engine)", name, run.seconds)
+            if name == "TCUDB":
+                annotate_tcu_point(point, run)
             if verifier is not None:
                 verifier.verify_query(point, name, catalog, MATMUL_QUERY,
                                       device=device)
@@ -280,6 +282,8 @@ def run_fig11(dataset: str, seed: int = 11, *,
                 paper_value=refs[i] if refs else None,
                 breakdown=run.breakdown, note=note,
             )
+            if name == "TCUDB":
+                annotate_tcu_point(point, run)
             point.normalized = run.seconds / baseline
             if verifier is not None:
                 verifier.verify_query(point, name, catalog, sql,
@@ -361,6 +365,8 @@ def run_fig12(query: str, sizes: list[int] | None = None,
             point = result.add(f"{size}", name, run.seconds,
                                paper_value=paper[name].get(size),
                                breakdown=run.breakdown, note=note)
+            if name == "TCUDB":
+                annotate_tcu_point(point, run)
             if verifier is not None:
                 verifier.verify_query(point, name, catalog, sql,
                                       params=params, device=device)
@@ -450,6 +456,7 @@ def run_fig13(sizes: list[int] | None = None, seed: int = 13,
         point = result.add(str(size), "TCUDB", _core_seconds(run, "TCUDB"),
                            paper_value=PAPER_FIG13["TCUDB"].get(size),
                            note=run.extra.get("strategy", ""))
+        annotate_tcu_point(point, run)
         if verifier is not None:
             verifier.verify_query(point, "TCUDB", catalog, PR_Q3,
                                   params=params, device=device)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, annotate_tcu_point
 from repro.bench.scale import ScaleProfile
 from repro.bench.verify import OracleVerifier, skip
 from repro.datasets.microbench import (
@@ -174,6 +174,8 @@ def run_fig7(query: str, sizes: list[int] | None = None,
                 paper_value=paper[name].get(size),
                 breakdown=run.breakdown,
             )
+            if name == "TCUDB":
+                annotate_tcu_point(point, run)
             if verifier is not None:
                 verifier.verify_query(point, name, catalog, sql,
                                       device=engines["YDB"].device)
@@ -231,6 +233,8 @@ def run_fig8(query: str, distincts: list[int] | None = None,
                 paper_value=paper[name].get(k),
                 breakdown=run.breakdown, note=note,
             )
+            if name == "TCUDB":
+                annotate_tcu_point(point, run)
             if verifier is not None:
                 verifier.verify_query(
                     point, name, catalog, sql, device=device,

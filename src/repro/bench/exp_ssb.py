@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, annotate_tcu_point
 from repro.bench.scale import ScaleProfile
 from repro.bench.verify import OracleVerifier
 from repro.datasets.ssb import ssb_catalog
@@ -72,8 +72,9 @@ def run_fig9(
                 query_id, name, run.seconds,
                 paper_value=refs[i] if refs else None,
                 breakdown=run.breakdown,
-                note="fallback" if run.extra.get("fallback_reason") else "",
             )
+            if name == "TCUDB":
+                annotate_tcu_point(point, run)
             point.normalized = run.seconds / baseline
             if verifier is not None:
                 verifier.verify_query(point, name, catalog,

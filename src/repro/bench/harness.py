@@ -31,6 +31,12 @@ class SeriesPoint:
     verified: bool | None = None
     verify_kind: str = ""  # "oracle" | "numeric" | "shape" | "model"
     verify_note: str = ""
+    # TCU-path bookkeeping (repro.bench.harness.annotate_tcu_point):
+    # why a TCUDB point left the TCU path, and how it was classified
+    # ("pattern" | "cost" | "feasibility" | "mode"); empty when native.
+    fallback_reason: str = ""
+    fallback_kind: str = ""
+    executed_by: str = ""  # "TCU" | "TCU-hybrid" | "YDB-fallback"
 
     def to_dict(self) -> dict:
         return {
@@ -44,6 +50,9 @@ class SeriesPoint:
             "verified": self.verified,
             "verify_kind": self.verify_kind,
             "verify_note": self.verify_note,
+            "fallback_reason": self.fallback_reason,
+            "fallback_kind": self.fallback_kind,
+            "executed_by": self.executed_by,
         }
 
     @classmethod
@@ -59,6 +68,9 @@ class SeriesPoint:
             verified=data.get("verified"),
             verify_kind=data.get("verify_kind", ""),
             verify_note=data.get("verify_note", ""),
+            fallback_reason=data.get("fallback_reason", ""),
+            fallback_kind=data.get("fallback_kind", ""),
+            executed_by=data.get("executed_by", ""),
         )
 
 
@@ -121,6 +133,30 @@ class ExperimentResult:
                 seen.append(point.config)
         return seen
 
+    # -- TCU fallback bookkeeping ------------------------------------------ #
+
+    def fallback_summary(self) -> dict:
+        """Per-experiment TCU-path coverage: how many TCUDB points left
+        the TCU path, the rate, and the reasons (``fallback_rate`` is
+        None when the experiment ran no annotated TCUDB points)."""
+        tcu_points = [p for p in self.points if p.executed_by]
+        fallbacks = [p for p in tcu_points
+                     if p.executed_by == "YDB-fallback"]
+        reasons: dict[str, int] = {}
+        for point in fallbacks:
+            key = f"{point.fallback_kind or 'unknown'}: " \
+                  f"{point.fallback_reason or 'unknown'}"
+            reasons[key] = reasons.get(key, 0) + 1
+        return {
+            "tcu_points": len(tcu_points),
+            "fallbacks": len(fallbacks),
+            "hybrid": sum(1 for p in tcu_points
+                          if p.executed_by == "TCU-hybrid"),
+            "fallback_rate": (len(fallbacks) / len(tcu_points)
+                              if tcu_points else None),
+            "reasons": reasons,
+        }
+
     # -- verification bookkeeping ------------------------------------------ #
 
     def verification_summary(self) -> dict[str, int]:
@@ -149,6 +185,7 @@ class ExperimentResult:
             "notes": list(self.notes),
             "fidelity_geomean": geometric_mean_ratio(self),
             "verification": self.verification_summary(),
+            "fallback": self.fallback_summary(),
         }
 
     @classmethod
@@ -237,3 +274,24 @@ def geometric_mean_ratio(result: ExperimentResult) -> float | None:
         for point in result.points
         if point.normalized and point.paper_value
     )
+
+
+def annotate_tcu_point(point: SeriesPoint, run) -> SeriesPoint:
+    """Record how a TCUDB query executed on its series point.
+
+    Feeds the per-experiment ``fallback_summary`` and the run-level
+    ``fallback_rate`` in ``BENCH_<profile>_*.json``, so the bench gate
+    can show the operator pipeline shrinking fallbacks over time.
+    """
+    extra = getattr(run, "extra", None) or {}
+    reason = extra.get("fallback_reason") or ""
+    point.fallback_reason = str(reason)
+    point.fallback_kind = str(extra.get("fallback_kind") or "")
+    point.executed_by = str(
+        extra.get("executed_by") or ("YDB-fallback" if reason else "TCU")
+    )
+    if reason and not point.note:
+        point.note = "fallback"
+    elif point.executed_by == "TCU-hybrid" and not point.note:
+        point.note = "hybrid"
+    return point

@@ -108,11 +108,41 @@ class BenchReport:
             if point.normalized and point.paper_value
         )
 
+    def fallback_summary(self) -> dict:
+        """Run-level TCU-path coverage: how many annotated TCUDB points
+        across all experiments left the TCU path, and why.
+
+        ``fallback_rate`` is the headline number the bench gate watches
+        shrink as the operator pipeline covers more query shapes; it is
+        None when the run had no annotated TCUDB points.
+        """
+        summary = {"tcu_points": 0, "fallbacks": 0, "hybrid": 0,
+                   "fallback_rate": None, "reasons": {}}
+        for experiment in self.experiments:
+            per = experiment.fallback_summary()
+            summary["tcu_points"] += per["tcu_points"]
+            summary["fallbacks"] += per["fallbacks"]
+            summary["hybrid"] += per["hybrid"]
+            for reason, count in per["reasons"].items():
+                summary["reasons"][reason] = (
+                    summary["reasons"].get(reason, 0) + count
+                )
+        if summary["tcu_points"]:
+            summary["fallback_rate"] = (
+                summary["fallbacks"] / summary["tcu_points"]
+            )
+        return summary
+
     def summary(self) -> dict:
+        fallback = self.fallback_summary()
         return {
             "experiments": len(self.experiments),
             "points": sum(1 for _ in self.points()),
             "fidelity_geomean": self.fidelity_geomean(),
+            "fallback_rate": fallback["fallback_rate"],
+            "tcu_points": fallback["tcu_points"],
+            "tcu_fallbacks": fallback["fallbacks"],
+            "tcu_hybrid": fallback["hybrid"],
             **self.verification_summary(),
         }
 
@@ -129,6 +159,7 @@ class BenchReport:
             "environment": dict(self.environment),
             "wall_seconds": self.wall_seconds,
             "summary": self.summary(),
+            "fallback": self.fallback_summary(),
             "experiments": [e.to_dict() for e in self.experiments],
         }
 

@@ -124,6 +124,16 @@ def _print_report(report: BenchReport, verbose: bool) -> None:
           f"{summary['unchecked']} unchecked")
     if fidelity is not None:
         print(f"fidelity geomean (ours/paper): {fidelity:.3f}")
+    fallback = report.fallback_summary()
+    if fallback["tcu_points"]:
+        print(
+            f"tcu path: {fallback['tcu_points']} points, "
+            f"{fallback['hybrid']} hybrid, "
+            f"{fallback['fallbacks']} fallbacks "
+            f"(fallback_rate {fallback['fallback_rate']:.3f})"
+        )
+        for reason, count in sorted(fallback["reasons"].items()):
+            print(f"  fallback x{count}: {reason}")
     for line in report.mismatches():
         print(f"MISMATCH: {line}")
 

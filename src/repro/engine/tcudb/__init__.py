@@ -1,10 +1,16 @@
 """TCUDB: the paper's primary contribution.
 
-Query analyzer (pattern matching), query optimizer (Figure 6), code
-generator (CUDA C emission) and program driver (TCU operator library).
+Query compiler (pattern + hybrid lowering onto the TensorProgram IR),
+query optimizer (Figure 6, run per operator), code generator (CUDA C
+emission per operator) and program driver (TCU operator library).
 """
 
-from repro.engine.tcudb.codegen import GeneratedProgram, generate_program
+from repro.engine.tcudb.codegen import (
+    GeneratedProgram,
+    OpEmission,
+    emit_tensor_program,
+    generate_program,
+)
 from repro.engine.tcudb.cost import (
     OperatorGeometry,
     PlanCost,
@@ -25,6 +31,13 @@ from repro.engine.tcudb.engine import TCUDBEngine, TCUDBOptions
 from repro.engine.tcudb.feasibility import (
     FeasibilityReport,
     run_feasibility_test,
+)
+from repro.engine.tcudb.lower import LoweredQuery, lower_hybrid, lower_query
+from repro.engine.tcudb.ops import FallbackRequired
+from repro.engine.tcudb.program import (
+    OperatorCost,
+    ProgramContext,
+    TensorProgram,
 )
 from repro.engine.tcudb.optimizer import OptimizerDecision, TCUOptimizer
 from repro.engine.tcudb.patterns import (
@@ -50,16 +63,21 @@ from repro.engine.tcudb.transform import (
 __all__ = [
     "AggregateSpec",
     "CompositeKey",
+    "FallbackRequired",
     "FeasibilityReport",
     "GeneratedProgram",
     "KeyDomain",
+    "LoweredQuery",
     "MatchFailure",
+    "OpEmission",
+    "OperatorCost",
     "OperatorGeometry",
     "OptimizerDecision",
     "PatternKind",
     "PlanCost",
     "PreparedAggSide",
     "PreparedJoin",
+    "ProgramContext",
     "SideMatrix",
     "Strategy",
     "TCUDBEngine",
@@ -67,10 +85,12 @@ __all__ = [
     "TCUDriver",
     "TCUOptimizer",
     "TCUPattern",
+    "TensorProgram",
     "TransformCost",
     "best_transform_cost",
     "comparison_matrix",
     "cpu_transform_cost",
+    "emit_tensor_program",
     "estimate_blocked",
     "estimate_cpu_baseline",
     "estimate_dense",
@@ -79,6 +99,8 @@ __all__ = [
     "generate_program",
     "gpu_transform_cost",
     "grouped_matrix",
+    "lower_hybrid",
+    "lower_query",
     "match_pattern",
     "run_feasibility_test",
     "tuple_matrix",

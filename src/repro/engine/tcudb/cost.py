@@ -218,6 +218,39 @@ def estimate_sparse(
     )
 
 
+# -- non-GEMM operator estimates (TensorProgram per-operator costing) --------- #
+
+
+def estimate_mask_apply(device: GPUDevice, rows: int,
+                        n_predicates: int) -> float:
+    """CUDA-core cost of a ``MaskApply`` operator: one gather-rate pass
+    over the masked intermediate per predicate."""
+    return device.cuda.gather_seconds(max(rows, 1) * max(n_predicates, 1))
+
+
+def estimate_fold_step(host: HostProfile, device: GPUDevice,
+                       fact_rows: int, dim_rows: int,
+                       chained_fill_s: float) -> float:
+    """One ``FoldJoin`` chained-join step: host fill of both sides, the
+    per-qualifying-record matrix->table conversion, and the device-side
+    gather of the folded columns."""
+    return (
+        fact_rows * chained_fill_s
+        + (fact_rows + dim_rows) * host.fill_elem_s
+        + device.cuda.gather_seconds(fact_rows)
+    )
+
+
+def estimate_physical_stage(host: HostProfile, input_rows: int,
+                            output_rows: int, n_joins: int) -> float:
+    """Host cost of a hybrid ``PhysicalStage`` pre-join: hash passes over
+    the scanned inputs plus pair materialization per join level."""
+    return (
+        input_rows * host.hash_row_s * 0.5
+        + output_rows * host.join_pair_s * max(n_joins, 1)
+    )
+
+
 # -- baseline plan estimates (Figure 6's final comparison) -------------------- #
 
 

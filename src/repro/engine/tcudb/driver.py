@@ -7,15 +7,14 @@ switches to a semantically equivalent vectorized path — indicator-matrix
 products over exact keys — while charging identical simulated time.  The
 equivalence of the two paths is property-tested.
 
-Operators:
-
-* ``join_2way``   — Q1/Q5: indicator/comparison matrices, one GEMM,
-  nonzero() extraction of matching pairs.
-* ``join_agg``    — Q3/Q4/Figure-5/SSB/PageRank: value-filled grouped
-  matrices, one GEMM per aggregate plus a count GEMM (Lemma 3.1's
-  reduction is pre-applied to ungrouped sides).
-* ``multiway``    — Q2: chained 2-way joins with CUDA nonzero()
-  matrix->table conversion between steps.
+Since the TensorProgram refactor the operator-level orchestration lives
+in :mod:`repro.engine.tcudb.ops`; this module provides the shared
+device kernels those operators invoke — strategy-dispatched GEMM
+execution (``_execute_gemm``), dense operand construction
+(``join_operand_matrices``, ``_grids_by_matmul``), the semantic
+exact-key equivalents (``_join_pairs_semantic``, ``_grids_semantic``)
+and the numeric-emulation gates — plus the legacy ``join_2way``
+operator retained for the driver-level property tests.
 """
 
 from __future__ import annotations
@@ -29,15 +28,6 @@ from repro.common.timing import STAGE_FILL, STAGE_MEMCPY, TimingBreakdown
 from repro.engine.base import ExecutionMode
 from repro.engine.relational import equi_join_indices, nonequi_join_indices
 from repro.engine.tcudb.cost import PlanCost, Strategy
-from repro.engine.tcudb.patterns import (
-    AggRef,
-    AggregateSpec,
-    ConstRef,
-    GroupRef,
-    OutputItem,
-    OutputNode,
-    OutputOp,
-)
 from repro.hardware.gpu import GPUDevice
 from repro.tensor.coo import COOMatrix
 from repro.tensor.matmul import msplit_gemm
@@ -104,6 +94,9 @@ class PreparedAggSide:
     group: CompositeKey | None  # None => side collapses to one row
     values_per_agg: list[np.ndarray]  # factor products (incl. weights)
     count_values: np.ndarray  # weights for the COUNT grid
+    # binding.column keys of the group columns, in composite-code order
+    # (used to decode grid rows back into output columns).
+    group_order: list[str] = field(default_factory=list)
 
     @property
     def g(self) -> int:
@@ -151,20 +144,34 @@ class TCUDriver:
         # both, so split by recomputing the transfer part.
         breakdown.add(STAGE_MEMCPY, plan.result_seconds)
 
+    # -- numeric-emulation gates (shared with the TensorProgram ops) -------- #
+
+    def use_numeric_join(self, prepared: PreparedJoin,
+                         mode: ExecutionMode) -> bool:
+        """True when the join product is small enough for bit-accurate
+        TCU emulation (beyond it, the semantic exact-key path applies)."""
+        n = prepared.left_keys_mapped.size
+        m = prepared.right_keys_mapped.size
+        return (
+            mode == ExecutionMode.REAL
+            and n * m <= NUMERIC_CELL_LIMIT
+            and n * prepared.k <= NUMERIC_CELL_LIMIT
+            and m * prepared.k <= NUMERIC_CELL_LIMIT
+        )
+
+    def use_numeric_grid(self, g1: int, g2: int, k: int) -> bool:
+        return (
+            g1 * g2 <= NUMERIC_CELL_LIMIT
+            and g1 * k <= NUMERIC_CELL_LIMIT
+            and g2 * k <= NUMERIC_CELL_LIMIT
+        )
+
     # -- 2-way join (Q1/Q5) ---------------------------------------------------- #
 
     def join_2way(self, prepared: PreparedJoin, plan: PlanCost) -> OperatorRun:
         breakdown = TimingBreakdown()
         self._charge(breakdown, plan, "tcu_join")
-        n = prepared.left_keys_mapped.size
-        m = prepared.right_keys_mapped.size
-        use_matmul = (
-            self.mode == ExecutionMode.REAL
-            and n * m <= NUMERIC_CELL_LIMIT
-            and n * prepared.k <= NUMERIC_CELL_LIMIT
-            and m * prepared.k <= NUMERIC_CELL_LIMIT
-        )
-        if use_matmul:
+        if self.use_numeric_join(prepared, self.mode):
             left_idx, right_idx = self._join_pairs_by_matmul(prepared, plan)
         else:
             left_idx, right_idx = self._join_pairs_semantic(prepared)
@@ -180,7 +187,13 @@ class TCUDriver:
             meta={"strategy": plan.strategy.value},
         )
 
-    def _join_pairs_by_matmul(self, prepared: PreparedJoin, plan: PlanCost):
+    @staticmethod
+    def join_operand_matrices(
+        prepared: PreparedJoin,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense indicator/comparison operand matrices of one join
+        (Sections 3.1/3.4), shared by the legacy 2-way path and the
+        TensorProgram ``Gemm`` operator."""
         from repro.engine.tcudb.transform import comparison_matrix
 
         n = prepared.left_keys_mapped.size
@@ -198,6 +211,10 @@ class TCUDriver:
         right = _dense_from_coo(
             np.arange(m), prepared.right_keys_mapped, np.ones(m), (m, k)
         )
+        return left, right
+
+    def _join_pairs_by_matmul(self, prepared: PreparedJoin, plan: PlanCost):
+        left, right = self.join_operand_matrices(prepared)
         product = self._execute_gemm(left, right.T, plan)
         rows, cols = np.nonzero(product > 0)
         return rows, cols
@@ -227,51 +244,14 @@ class TCUDriver:
         right_values = prepared.domain_values[prepared.right_keys_mapped]
         return nonequi_join_count(left_values, right_values, prepared.op)
 
-    # -- join + (group-by) aggregation ------------------------------------------ #
+    # -- join + (group-by) aggregation grids ------------------------------------ #
+    # (invoked by the TensorProgram Gemm operator; result assembly lives
+    # in ops.GridAggregate)
 
-    def join_agg(
-        self,
-        left: PreparedAggSide,
-        right: PreparedAggSide,
-        k: int,
-        aggregates: list[AggregateSpec],
-        outputs: list[OutputItem],
-        plan: PlanCost,
-        grouped: bool,
-    ) -> OperatorRun:
-        breakdown = TimingBreakdown()
-        stage = (
-            "tcu_join_groupby_aggregation" if grouped else "tcu_join_aggregation"
-        )
-        self._charge(breakdown, plan, stage)
-        g1, g2 = left.g, right.g
-        use_matmul = (
-            self.mode == ExecutionMode.REAL
-            and g1 * g2 <= NUMERIC_CELL_LIMIT
-            and g1 * k <= NUMERIC_CELL_LIMIT
-            and g2 * k <= NUMERIC_CELL_LIMIT
-        )
-        if self.mode != ExecutionMode.REAL:
-            estimate = min(
-                g1 * g2,
-                max(int(left.keys_mapped.size), int(right.keys_mapped.size), 1),
-            )
-            return OperatorRun(n_rows=estimate, breakdown=breakdown,
-                               meta={"strategy": plan.strategy.value})
-        if use_matmul:
-            grids, count_grid = self._grids_by_matmul(left, right, k,
-                                                      aggregates, plan)
-        else:
-            grids, count_grid = self._grids_semantic(left, right, aggregates,
-                                                     g1, g2)
-        return self._assemble(left, right, grids, count_grid, aggregates,
-                              outputs, breakdown, plan)
-
-    def _grids_by_matmul(self, left, right, k, aggregates, plan):
-        g1, g2 = left.g, right.g
+    def _grids_by_matmul(self, left: PreparedAggSide, right: PreparedAggSide,
+                         k: int, aggregates, plan: PlanCost):
         count_grid = self._one_grid(
             left, right, k, left.count_values, right.count_values, plan,
-            indicator=True,
         )
         grids = []
         for i, spec in enumerate(aggregates):
@@ -281,19 +261,17 @@ class TCUDriver:
             grids.append(
                 self._one_grid(
                     left, right, k, left.values_per_agg[i],
-                    right.values_per_agg[i], plan, indicator=False,
+                    right.values_per_agg[i], plan,
                 )
             )
         return grids, count_grid
 
-    def _one_grid(self, left, right, k, left_values, right_values, plan,
-                  indicator):
-        g1, g2 = left.g, right.g
+    def _one_grid(self, left, right, k, left_values, right_values, plan):
         mat_a = _dense_from_coo(
-            left.row_codes(), left.keys_mapped, left_values, (g1, k)
+            left.row_codes(), left.keys_mapped, left_values, (left.g, k)
         )
         mat_b = _dense_from_coo(
-            right.row_codes(), right.keys_mapped, right_values, (g2, k)
+            right.row_codes(), right.keys_mapped, right_values, (right.g, k)
         )
         # Indicator products stay exact at any TCU precision; value
         # products run at the plan's precision.
@@ -339,74 +317,3 @@ class TCUDriver:
             )
         return grids, count_grid
 
-    def _assemble(self, left, right, grids, count_grid, aggregates, outputs,
-                  breakdown, plan):
-        present = count_grid > 0
-        rows, cols = np.nonzero(present)
-        agg_values: list[np.ndarray] = []
-        for spec, grid in zip(aggregates, grids):
-            values = grid[rows, cols]
-            if spec.func == "avg":
-                values = values / np.maximum(count_grid[rows, cols], 1)
-            agg_values.append(values)
-        group_columns: dict[str, np.ndarray] = {}
-        if left.group is not None:
-            decoded = left.group.decode(rows)
-            for column, values in zip(self._group_keys(outputs, side=0),
-                                      decoded):
-                group_columns[column] = values
-        if right.group is not None:
-            decoded = right.group.decode(cols)
-            for column, values in zip(self._group_keys(outputs, side=1),
-                                      decoded):
-                group_columns[column] = values
-        arrays: list[np.ndarray] = []
-        names: list[str] = []
-        for item in outputs:
-            arrays.append(
-                self._eval_output(item.node, agg_values, group_columns,
-                                  rows.size)
-            )
-            names.append(item.name)
-        return OperatorRun(
-            n_rows=int(rows.size),
-            breakdown=breakdown,
-            arrays=arrays,
-            names=names,
-            meta={"strategy": plan.strategy.value,
-                  "group_columns": group_columns},
-        )
-
-    def _group_keys(self, outputs: list[OutputItem], side: int) -> list[str]:
-        # The engine stores group-column ordering in driver metadata via
-        # the prepared sides; here we rely on the engine attaching
-        # ``_group_order`` before the call.
-        order = getattr(self, "_group_order", ([], []))
-        return order[side]
-
-    def set_group_order(self, left_keys: list[str],
-                        right_keys: list[str]) -> None:
-        self._group_order = (left_keys, right_keys)
-
-    def _eval_output(self, node: OutputNode, agg_values, group_columns,
-                     n_rows) -> np.ndarray:
-        if isinstance(node, AggRef):
-            return np.asarray(agg_values[node.index], dtype=np.float64)
-        if isinstance(node, ConstRef):
-            return np.full(n_rows, node.value)
-        if isinstance(node, GroupRef):
-            values = group_columns.get(node.column.key)
-            if values is None:
-                raise ExecutionError(
-                    f"group column {node.column.key} missing from grid"
-                )
-            return np.asarray(values)
-        if isinstance(node, OutputOp):
-            left = self._eval_output(node.left, agg_values, group_columns,
-                                     n_rows).astype(np.float64)
-            right = self._eval_output(node.right, agg_values, group_columns,
-                                      n_rows).astype(np.float64)
-            ops = {"+": np.add, "-": np.subtract, "*": np.multiply,
-                   "/": np.divide, "%": np.mod}
-            return ops[node.op](left, right)
-        raise ExecutionError(f"bad output node {node!r}")

@@ -3,13 +3,20 @@
 Execution pipeline per query:
 
 1. parse + bind (shared SQL front end);
-2. **query analyzer** — pattern-match the bound query (Section 3);
-3. **query optimizer** — Figure 6's workflow: range test, working-set
-   test, density test, adaptive precision, cost comparison against the
-   conventional GPU/CPU plans;
-4. **code generator** — emit the CUDA C program for the chosen plan;
-5. **program driver** — execute the plan on the simulated device;
-6. fall back to the YDB executor (same device) whenever a test fails.
+2. **lowering** (:mod:`repro.engine.tcudb.lower`) — translate the bound
+   query into a :class:`~repro.engine.tcudb.program.TensorProgram`: a
+   DAG of composable TCU operators (pattern lowering for the
+   matmul-encodable core shapes, hybrid lowering with a conventional
+   pre-stage for partially-expressible queries);
+3. **per-operator optimization** — every ``Gemm`` node runs Figure 6's
+   workflow (range test, working-set test, density test, adaptive
+   precision, cost comparison) for its own product;
+4. **code generation** — the program emits its CUDA C source one
+   section per operator, so executed plans stay inspectable;
+5. **execution** — operators thread the timing/precision/feasibility
+   machinery through the DAG on the simulated device;
+6. fall back to the YDB executor (same device) only when lowering or an
+   operator's tests reject TCU execution outright.
 """
 
 from __future__ import annotations
@@ -19,50 +26,25 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import UnsupportedQueryError
-from repro.common.timing import STAGE_FILL, TimingBreakdown
 from repro.engine.base import Engine, ExecutionMode, QueryResult
 from repro.engine.physical import apply_order_limit
-from repro.engine.relational import equi_join_count
-from repro.engine.tcudb.codegen import generate_program
-from repro.engine.tcudb.cost import OperatorGeometry, Strategy
-from repro.engine.tcudb.driver import (
-    CompositeKey,
-    OperatorRun,
-    PreparedAggSide,
-    PreparedJoin,
-    TCUDriver,
-)
-from repro.engine.tcudb.feasibility import (
-    INDICATOR_RANGE,
-    run_feasibility_test,
-)
-from repro.engine.tcudb.optimizer import OptimizerDecision, TCUOptimizer
-from repro.engine.tcudb.patterns import (
-    MatchFailure,
-    PatternKind,
-    TCUPattern,
-    match_pattern,
-)
+from repro.engine.tcudb.cost import Strategy
+from repro.engine.tcudb.driver import TCUDriver
+from repro.engine.tcudb.lower import LoweredQuery, lower_hybrid, lower_query
+from repro.engine.tcudb.ops import FallbackRequired, OutputValue
+from repro.engine.tcudb.optimizer import TCUOptimizer
+from repro.engine.tcudb.patterns import MatchFailure
+from repro.engine.tcudb.program import ProgramContext
 from repro.engine.ydb import YDBEngine
 from repro.hardware.calibration import run_calibration
 from repro.hardware.gpu import GPUDevice
 from repro.hardware.profiles import I7_7700K, HostProfile
 from repro.sql.binder import BoundColumn, BoundQuery
-from repro.sql.eval import Environment, conjunction_mask
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
 from repro.storage.table import Table
 from repro.storage.types import DataType
 from repro.tensor.precision import Precision
-
-from repro.engine.tcudb.transform import union_key_domain
-
-
-# Per-qualifying-record cost of one chained-join step's matrix->table
-# conversion and intermediate rebuild (Section 3.2's step 2/3).  Fitted to
-# the paper's SSB results, where TCUDB's star joins win by 1.3x-3.7x over
-# YDB rather than by orders of magnitude.
-CHAINED_JOIN_FILL_S = 150e-9
 
 
 @dataclass
@@ -106,620 +88,103 @@ class TCUDBEngine(Engine):
     # ------------------------------------------------------------------ #
 
     def execute_bound(self, bound: BoundQuery) -> QueryResult:
-        pattern = match_pattern(bound)
-        if isinstance(pattern, MatchFailure):
-            return self._fall_back(bound, pattern.reason)
-        if pattern.kind == PatternKind.JOIN_2WAY:
-            return self._run_join_2way(pattern)
-        if pattern.kind == PatternKind.JOIN_AGG:
-            return self._run_join_agg(pattern)
-        return self._run_multiway(pattern)
+        lowered = lower_query(bound, self.mode)
+        if isinstance(lowered, MatchFailure):
+            return self._fall_back(bound, lowered.reason, lowered.kind)
+        ctx = self._context(bound)
+        try:
+            output = lowered.program.run(ctx)
+        except FallbackRequired as failure:
+            if failure.kind == "pattern" and not lowered.hybrid:
+                # The pattern program discovered a data-dependent shape
+                # problem (e.g. duplicate-key dimensions) at run time;
+                # retry through the hybrid pipeline before giving up.
+                hybrid = lower_hybrid(bound, self.mode)
+                if isinstance(hybrid, LoweredQuery):
+                    ctx = self._context(bound)
+                    try:
+                        output = hybrid.program.run(ctx)
+                        lowered = hybrid
+                    except FallbackRequired as second:
+                        return self._fall_back(bound, second.reason,
+                                               second.kind)
+                elif hybrid.kind == "mode":
+                    # Hybrid-expressible, blocked only by the mode.
+                    return self._fall_back(bound, hybrid.reason, hybrid.kind)
+                else:
+                    return self._fall_back(bound, failure.reason,
+                                           failure.kind)
+            else:
+                return self._fall_back(bound, failure.reason, failure.kind)
+        return self._finalize(bound, lowered, ctx, output)
 
-    def _fall_back(self, bound: BoundQuery, reason: str) -> QueryResult:
+    def _context(self, bound: BoundQuery) -> ProgramContext:
+        return ProgramContext(
+            bound=bound, device=self.device, host=self.host, mode=self.mode,
+            options=self.options, optimizer=self.optimizer,
+            driver=self.driver,
+        )
+
+    def _fall_back(self, bound: BoundQuery, reason: str,
+                   kind: str = "pattern") -> QueryResult:
         if self.options.disable_fallback:
             raise UnsupportedQueryError(f"TCU execution rejected: {reason}")
         result = self._fallback.execute_bound(bound)
         result.engine = self.name
         result.extra["executed_by"] = "YDB-fallback"
         result.extra["fallback_reason"] = reason
+        result.extra["fallback_kind"] = kind
         return result
 
-    # -- shared preparation ------------------------------------------------ #
+    # -- result assembly ------------------------------------------------ #
 
-    def _filtered_env(self, bound: BoundQuery, binding: str,
-                      breakdown: TimingBreakdown) -> Environment:
-        env = Environment.from_table(bound, binding)
-        filters = bound.filters.get(binding, [])
-        if filters:
-            breakdown.add(
-                STAGE_FILL,
-                env.n_rows * self.host.scan_elem_s * len(filters),
-            )
-            env = env.filtered(conjunction_mask(filters, env, bound))
-        return env
-
-    def _referenced_columns(self, bound: BoundQuery, binding: str) -> int:
-        return max(
-            len({c.column for c in bound.resolution.values()
-                 if c.binding == binding}),
-            1,
-        )
-
-    def _apply_decision_overrides(
-        self, decision: OptimizerDecision
-    ) -> OptimizerDecision:
-        # Forcing happens inside the optimizer (it must re-estimate the
-        # plan, not relabel it); this hook remains for symmetry.
-        return decision
-
-    # -- Q1/Q5: two-way join ---------------------------------------------------- #
-
-    def _run_join_2way(self, pattern: TCUPattern) -> QueryResult:
-        bound = pattern.bound
-        predicate = pattern.joins[0]
-        prep = TimingBreakdown()
-        left_env = self._filtered_env(bound, predicate.left.binding, prep)
-        right_env = self._filtered_env(bound, predicate.right.binding, prep)
-        left_keys = left_env.lookup(predicate.left.key)
-        right_keys = right_env.lookup(predicate.right.key)
-        domain = union_key_domain(left_keys, right_keys)
-        n, m, k = left_keys.size, right_keys.size, domain.k
-        nnz_left = self._comparison_nnz(domain, predicate.op, n)
-        pairs = self._pair_count(domain, predicate.op)
-        raw_bytes = 8.0 * (
-            n * self._referenced_columns(bound, predicate.left.binding)
-            + m * self._referenced_columns(bound, predicate.right.binding)
-        )
-        geometry = OperatorGeometry(
-            g1=n, g2=m, k=k, nnz_left=nnz_left, nnz_right=m,
-            n_tuples=n + m, raw_bytes=raw_bytes, result_rows=pairs,
-            n_matmuls=1, needs_nonzero=True,
-        )
-        feasibility = run_feasibility_test(
-            INDICATOR_RANGE, INDICATOR_RANGE, k,
-            require_exact=self.options.require_exact,
-        )
-        decision = self.optimizer.decide(geometry, feasibility, pairs,
-                                         grouped=False)
-        decision = self._apply_decision_overrides(decision)
-        if not decision.use_tcu and not self.options.force_strategy:
-            return self._fall_back(bound, decision.reason)
-        prepared = PreparedJoin(
-            op=predicate.op,
-            left_keys_mapped=domain.left,
-            right_keys_mapped=domain.right,
-            domain_values=domain.values,
-            k=k,
-        )
-        run = self.driver.join_2way(prepared, decision.plan)
-        program = generate_program(
-            decision.plan, n, m, k, op_label="TCUJoin (2-way natural join)",
-        )
-        return self._join_result(pattern, left_env, right_env, run, prep,
-                                 decision, program)
-
-    def _comparison_nnz(self, domain, op: str, n: int) -> int:
-        if op == "=":
-            return n
-        left_values = domain.values[domain.left]
-        sorted_domain = domain.values
-        if op == "<":
-            counts = domain.k - np.searchsorted(sorted_domain, left_values,
-                                                side="right")
-        elif op == "<=":
-            counts = domain.k - np.searchsorted(sorted_domain, left_values,
-                                                side="left")
-        elif op == ">":
-            counts = np.searchsorted(sorted_domain, left_values, side="left")
-        elif op == ">=":
-            counts = np.searchsorted(sorted_domain, left_values, side="right")
-        else:  # <>, !=
-            counts = np.full(n, domain.k - 1)
-        return int(counts.sum())
-
-    def _pair_count(self, domain, op: str) -> int:
-        from repro.engine.relational import nonequi_join_count
-
-        if op == "=":
-            return equi_join_count(domain.left, domain.right)
-        return nonequi_join_count(
-            domain.values[domain.left], domain.values[domain.right], op
-        )
-
-    def _join_result(self, pattern, left_env, right_env, run: OperatorRun,
-                     prep, decision, program) -> QueryResult:
-        bound = pattern.bound
-        breakdown = prep.merge(run.breakdown)
+    def _finalize(self, bound: BoundQuery, lowered: LoweredQuery,
+                  ctx: ProgramContext, output: OutputValue) -> QueryResult:
+        program = lowered.program
+        decisions = [ctx.decisions[op.id] for op in program.ops
+                     if op.id in ctx.decisions]
         table = None
-        if run.arrays is not None:
-            left_idx, right_idx = run.arrays
-            arrays = []
-            names = []
-            for item, column in zip(bound.select_items, pattern.projected):
-                if isinstance(column, float):
-                    arrays.append(np.full(left_idx.size, column))
-                    names.append(item.output_name)
-                    continue
-                env = left_env if column.binding == (
-                    pattern.joins[0].left.binding
-                ) else right_env
-                indices = left_idx if column.binding == (
-                    pattern.joins[0].left.binding
-                ) else right_idx
-                arrays.append(env.lookup(column.key)[indices])
-                names.append(item.output_name)
-            arrays, names = self._apply_order_limit(bound, arrays, names)
-            table = self._build_table(bound, arrays, names,
-                                      list(pattern.projected))
-        return QueryResult(
-            engine=self.name,
-            n_rows=run.n_rows if bound.limit is None
-            else min(run.n_rows, bound.limit),
-            breakdown=breakdown,
-            table=table,
-            plan_description=decision.explain(),
-            extra={
-                "decision": decision,
-                "generated_code": program,
-                "strategy": decision.plan.strategy.value,
-                "precision": decision.plan.precision.value,
-            },
-        )
-
-    # -- Q3/Q4/Fig5/SSB/PageRank: join + aggregation ------------------------------ #
-
-    def _run_join_agg(self, pattern: TCUPattern) -> QueryResult:
-        bound = pattern.bound
-        prep = TimingBreakdown()
-        fact = pattern.fact
-        dims = [t.binding for t in bound.tables if t.binding != fact]
-        b_side = self._choose_b_side(pattern, dims)
-        fact_env = self._filtered_env(bound, fact, prep)
-        fold = self._fold_dimensions(pattern, fact_env, dims, b_side, prep)
-        if isinstance(fold, MatchFailure):
-            return self._fall_back(bound, fold.reason)
-        fact_env, weights, gathered, fact_keys = fold
-        b_env = self._filtered_env(bound, b_side, prep)
-        if fact_env.n_rows == 0 or b_env.n_rows == 0:
-            return self._empty_agg_result(pattern, prep)
-        b_predicate = self._join_for(pattern, fact, b_side)
-        b_keys = b_env.lookup(
-            (b_predicate.left if b_predicate.left.binding == b_side
-             else b_predicate.right).key
-        )
-        domain = union_key_domain(fact_keys, b_keys)
-        left_side, a_group_order = self._build_agg_side(
-            pattern, bound, fact_env, gathered, weights, domain.left,
-            side_bindings=set([fact]) | (set(dims) - {b_side}),
-            b_side=False, b_env=None,
-        )
-        right_side, b_group_order = self._build_agg_side(
-            pattern, bound, b_env, {}, np.ones(b_keys.size), domain.right,
-            side_bindings={b_side}, b_side=True, b_env=b_env,
-        )
-        pairs = equi_join_count(domain.left, domain.right)
-        geometry = self._agg_geometry(bound, pattern, left_side, right_side,
-                                      domain.k, pairs, fact, b_side)
-        feasibility = self._agg_feasibility(pattern, left_side, right_side,
-                                            domain.k)
-        decision = self.optimizer.decide(
-            geometry, feasibility, pairs, grouped=bool(pattern.group_by)
-        )
-        decision = self._apply_decision_overrides(decision)
-        if not decision.use_tcu and not self.options.force_strategy:
-            return self._fall_back(bound, decision.reason)
-        self.driver.set_group_order(a_group_order, b_group_order)
-        run = self.driver.join_agg(
-            left_side, right_side, domain.k, pattern.aggregates,
-            pattern.outputs, decision.plan, grouped=bool(pattern.group_by),
-        )
-        program = generate_program(
-            decision.plan, left_side.g, right_side.g, domain.k,
-            op_label="TCU Join+GroupBy+Aggregation",
-            n_matmuls=geometry.n_matmuls,
-        )
-        breakdown = prep.merge(run.breakdown)
-        table = None
-        n_rows = run.n_rows
-        if run.arrays is not None:
-            arrays, names = self._apply_order_limit(bound, run.arrays,
-                                                    list(run.names))
-            bycol = []
-            for item in pattern.outputs:
-                from repro.engine.tcudb.patterns import GroupRef
-
-                bycol.append(
-                    item.node.column if isinstance(item.node, GroupRef)
-                    else None
-                )
-            table = self._build_table(bound, arrays, names, bycol)
+        n_rows = output.n_rows
+        if output.arrays is not None:
+            arrays = apply_order_limit(bound, list(output.arrays),
+                                       list(output.names))
+            table = self._build_table(bound, arrays, output.names,
+                                      output.by_columns)
             n_rows = table.num_rows
+        elif bound.limit is not None:
+            n_rows = min(n_rows, bound.limit)
+        if decisions:
+            last = decisions[-1]
+            strategy = last.plan.strategy.value if last.plan else "none"
+            precision = last.plan.precision.value if last.plan else "none"
+            generated = program.generated_code(ctx)
+            plan_description = "\n---\n".join(
+                [program.describe()] + [d.explain() for d in decisions]
+            )
+        else:
+            # Empty inputs short-circuit before any product is priced.
+            strategy = precision = "none"
+            generated = None
+            plan_description = "empty input: no TCU operator issued"
+        extra = {
+            "decision": decisions[-1] if decisions else None,
+            "decisions": decisions,
+            "generated_code": generated,
+            "strategy": strategy,
+            "precision": precision,
+            "executed_by": "TCU-hybrid" if lowered.hybrid else "TCU",
+            "program": program,
+            "program_listing": program.describe(),
+            "operator_costs": ctx.op_costs,
+        }
         return QueryResult(
             engine=self.name,
             n_rows=n_rows,
-            breakdown=breakdown,
+            breakdown=ctx.breakdown,
             table=table,
-            plan_description=decision.explain(),
-            extra={
-                "decision": decision,
-                "generated_code": program,
-                "strategy": decision.plan.strategy.value,
-                "precision": decision.plan.precision.value,
-            },
+            plan_description=plan_description,
+            extra=extra,
         )
-
-    def _empty_agg_result(self, pattern: TCUPattern,
-                          prep: TimingBreakdown) -> QueryResult:
-        """An aggregation over an empty join yields zero groups."""
-        names = [item.name for item in pattern.outputs]
-        arrays = [np.array([]) for _ in names]
-        table = None
-        if self.mode == ExecutionMode.REAL:
-            table = self._build_table(
-                pattern.bound, arrays, names, [None] * len(names)
-            )
-        return QueryResult(
-            engine=self.name, n_rows=0, breakdown=prep, table=table,
-            plan_description="empty input: no TCU operator issued",
-            extra={"strategy": "none", "precision": "none"},
-        )
-
-    def _choose_b_side(self, pattern: TCUPattern, dims: list[str]) -> str:
-        for column in pattern.group_by:
-            if column.binding in dims:
-                return column.binding
-        return dims[-1]
-
-    def _join_for(self, pattern: TCUPattern, fact: str, dim: str):
-        for predicate in pattern.joins:
-            bindings = {predicate.left.binding, predicate.right.binding}
-            if bindings == {fact, dim}:
-                return predicate
-        raise UnsupportedQueryError(f"no join between {fact} and {dim}")
-
-    def _fold_dimensions(self, pattern: TCUPattern, fact_env: Environment,
-                         dims: list[str], b_side: str, prep: TimingBreakdown):
-        """Fold every non-B dimension into the fact side.
-
-        Each fold is one step of the paper's multi-way join chain
-        (Section 3.2): a join realized as a matrix product followed by a
-        CUDA nonzero() matrix->table conversion that rebuilds the
-        intermediate for the next step.  We charge that per-qualifying-
-        record conversion cost and shrink the fact side progressively, so
-        selective dimensions (e.g. SSB Q4.1's region filters) make the
-        remaining chain cheaper — as in the paper.
-
-        Unique-key dimensions gather their group/factor columns onto fact
-        rows; duplicate-key dimensions that contribute nothing multiply
-        the fact weight by their key multiplicity (exact bag semantics).
-        """
-        bound = pattern.bound
-        weights = np.ones(fact_env.n_rows)
-        gathered: dict[str, np.ndarray] = {}
-        fact = pattern.fact
-        for dim in dims:
-            if dim == b_side:
-                continue
-            predicate = self._join_for(pattern, fact, dim)
-            fact_col = (predicate.left if predicate.left.binding == fact
-                        else predicate.right)
-            dim_col = (predicate.left if predicate.left.binding == dim
-                       else predicate.right)
-            dim_env = self._filtered_env(bound, dim, prep)
-            dim_keys = dim_env.lookup(dim_col.key)
-            fact_keys = fact_env.lookup(fact_col.key)
-            # Chained-join step: matrix fill + product + nonzero()
-            # conversion of the intermediate back to tuples.
-            prep.add(
-                STAGE_FILL,
-                fact_keys.size * CHAINED_JOIN_FILL_S
-                + (fact_keys.size + dim_keys.size) * self.host.fill_elem_s,
-            )
-            prep.add(STAGE_FILL,
-                     self.device.cuda.gather_seconds(fact_keys.size))
-            needed = self._dim_needed_columns(pattern, dim)
-            unique_keys = np.unique(dim_keys)
-            if unique_keys.size == 0:
-                # Filtered dimension is empty: the join eliminates every
-                # fact row.
-                empty = np.zeros(fact_env.n_rows, dtype=bool)
-                fact_env = fact_env.filtered(empty)
-                weights = weights[empty]
-                gathered = {
-                    k: np.asarray(v)[empty] for k, v in gathered.items()
-                }
-                for key in needed:
-                    gathered[key] = np.array([], dtype=np.int64)
-                continue
-            is_unique = unique_keys.size == dim_keys.size
-            if needed and not is_unique:
-                return MatchFailure(
-                    f"dimension {dim} has duplicate join keys but "
-                    "contributes group/factor columns"
-                )
-            positions = np.searchsorted(unique_keys, fact_keys)
-            positions = np.clip(positions, 0, max(unique_keys.size - 1, 0))
-            matched = (
-                unique_keys[positions] == fact_keys
-                if unique_keys.size else np.zeros(fact_keys.size, dtype=bool)
-            )
-            if is_unique:
-                row_of = np.argsort(dim_keys, kind="stable")
-                dim_rows = row_of[np.clip(positions, 0,
-                                          max(dim_keys.size - 1, 0))]
-                for key in needed:
-                    gathered[key] = dim_env.lookup(key)[dim_rows]
-            else:
-                counts = np.bincount(
-                    np.searchsorted(unique_keys, dim_keys),
-                    minlength=max(unique_keys.size, 1),
-                )
-                multiplicity = np.where(matched, counts[positions], 0)
-                weights = weights * multiplicity
-            if not matched.all():
-                fact_env = fact_env.filtered(matched)
-                weights = weights[matched]
-                gathered = {k: v[matched] for k, v in gathered.items()}
-        fact_keys = self._final_fact_keys(pattern, fact_env, b_side)
-        return fact_env, weights, gathered, fact_keys
-
-    def _final_fact_keys(self, pattern: TCUPattern, fact_env: Environment,
-                         b_side: str) -> np.ndarray:
-        predicate = self._join_for(pattern, pattern.fact, b_side)
-        fact_col = (predicate.left if predicate.left.binding == pattern.fact
-                    else predicate.right)
-        return fact_env.lookup(fact_col.key)
-
-    def _dim_needed_columns(self, pattern: TCUPattern, dim: str) -> list[str]:
-        needed = [c.key for c in pattern.group_by if c.binding == dim]
-        for spec in pattern.aggregates:
-            needed.extend(
-                f.column.key for f in spec.factors_for(dim)
-            )
-        return sorted(set(needed))
-
-    def _build_agg_side(self, pattern, bound, env, gathered, weights,
-                        mapped_keys, side_bindings, b_side, b_env):
-        def column_array(column: BoundColumn) -> np.ndarray:
-            if column.key in gathered:
-                return gathered[column.key]
-            return env.lookup(column.key)
-
-        group_cols = [c for c in pattern.group_by
-                      if c.binding in side_bindings]
-        group = None
-        group_order = [c.key for c in group_cols]
-        if group_cols:
-            group = CompositeKey.build(
-                [np.asarray(column_array(c)) for c in group_cols]
-            )
-        values_per_agg: list[np.ndarray] = []
-        n = mapped_keys.size
-        for spec in pattern.aggregates:
-            values = np.full(n, 1.0)
-            if not b_side:
-                values = values * spec.constant * weights
-            for factor in spec.factors:
-                if factor.column.binding not in side_bindings:
-                    continue
-                array = np.asarray(column_array(factor.column),
-                                   dtype=np.float64)
-                values = values * (array if factor.power == 1
-                                   else 1.0 / array)
-            values_per_agg.append(values)
-        count_values = weights if not b_side else np.ones(n)
-        side = PreparedAggSide(
-            keys_mapped=np.asarray(mapped_keys),
-            group=group,
-            values_per_agg=values_per_agg,
-            count_values=np.asarray(count_values, dtype=np.float64),
-        )
-        return side, group_order
-
-    def _agg_geometry(self, bound, pattern, left_side, right_side, k, pairs,
-                      fact, b_side) -> OperatorGeometry:
-        nnz_left = int(np.unique(
-            left_side.row_codes() * k + left_side.keys_mapped
-        ).size)
-        nnz_right = int(np.unique(
-            right_side.row_codes() * k + right_side.keys_mapped
-        ).size)
-        n = left_side.keys_mapped.size
-        m = right_side.keys_mapped.size
-        raw_bytes = 8.0 * (
-            n * self._referenced_columns(bound, fact)
-            + m * self._referenced_columns(bound, b_side)
-        )
-        value_specs = sum(
-            1 for spec in pattern.aggregates if spec.func != "count"
-        )
-        has_value_fill = any(spec.factors for spec in pattern.aggregates)
-        return OperatorGeometry(
-            g1=left_side.g, g2=right_side.g, k=k,
-            nnz_left=nnz_left, nnz_right=nnz_right,
-            n_tuples=n + m, raw_bytes=raw_bytes,
-            result_rows=min(left_side.g * right_side.g, max(pairs, 1)),
-            n_matmuls=value_specs + 1,  # +1 for the COUNT/indicator grid
-            needs_nonzero=True,
-            fill_scale=4.0 if has_value_fill else 1.0,
-        )
-
-    def _agg_feasibility(self, pattern, left_side, right_side, k):
-        """Exact data-range test over the prepared operand matrices.
-
-        Both sides are fully materialized by the time the optimizer
-        decides, so the test computes the exact per-cell sums each
-        matrix will hold.  (The previous statistics-based variant widened
-        column ranges by the *average* duplicate multiplicity, which
-        under-estimates the max per-cell accumulation — e.g. COUNT over
-        a skewed fact key — and admitted int4/fp16 plans the simulated
-        TCU then rejected with a PrecisionError.)
-        """
-        worst_left = self._exact_cell_range(left_side, k,
-                                            left_side.count_values)
-        worst_right = self._exact_cell_range(right_side, k,
-                                             right_side.count_values)
-        for i, spec in enumerate(pattern.aggregates):
-            if spec.func == "count":
-                continue
-            left_range = self._exact_cell_range(
-                left_side, k, left_side.values_per_agg[i]
-            )
-            right_range = self._exact_cell_range(
-                right_side, k, right_side.values_per_agg[i]
-            )
-            if left_range is None or right_range is None:
-                return run_feasibility_test(None, None, k)
-            worst_left = self._wider(worst_left, left_range)
-            worst_right = self._wider(worst_right, right_range)
-        return run_feasibility_test(
-            worst_left or INDICATOR_RANGE, worst_right or INDICATOR_RANGE, k,
-            require_exact=self.options.require_exact,
-        )
-
-    @staticmethod
-    def _exact_cell_range(side, k, values):
-        """Exact [min, max] of one operand matrix's cell sums (0 included
-        for empty cells); None when a value is non-finite (e.g. division
-        by a zero-valued column)."""
-        from repro.tensor.precision import ValueRange
-
-        values = np.asarray(values, dtype=np.float64)
-        if values.size == 0:
-            return INDICATOR_RANGE
-        if not np.all(np.isfinite(values)):
-            return None
-        cells = side.row_codes() * k + side.keys_mapped
-        _, inverse = np.unique(cells, return_inverse=True)
-        sums = np.bincount(inverse, weights=values)
-        # The fill values (not just the accumulated endpoints) decide
-        # integrality: fractional fills quantize to garbage at int4/int8.
-        integral = bool(np.all(values == np.rint(values)))
-        return ValueRange(float(min(sums.min(), 0.0)),
-                          float(max(sums.max(), 0.0)),
-                          integral=integral)
-
-    @staticmethod
-    def _wider(a, b):
-        from repro.tensor.precision import ValueRange
-
-        if a is None:
-            return b
-        if b is None:
-            return a
-        return ValueRange(min(a.lo, b.lo), max(a.hi, b.hi),
-                          integral=a.is_integral and b.is_integral)
-
-    # -- Q2: multi-way join chains ----------------------------------------------- #
-
-    def _run_multiway(self, pattern: TCUPattern) -> QueryResult:
-        bound = pattern.bound
-        prep = TimingBreakdown()
-        envs = {
-            t.binding: self._filtered_env(bound, t.binding, prep)
-            for t in bound.tables
-        }
-        order = [t.binding for t in bound.tables]
-        indices: dict[str, np.ndarray] = {
-            order[0]: np.arange(envs[order[0]].n_rows)
-        }
-        joined = {order[0]}
-        breakdown = prep
-        remaining = list(pattern.joins)
-        decisions = []
-        current_rows = envs[order[0]].n_rows
-        for binding in order[1:]:
-            predicate = self._pick_chain_predicate(remaining, joined, binding)
-            if predicate is None:
-                return self._fall_back(bound, "join chain is disconnected")
-            remaining.remove(predicate)
-            inner, outer = ((predicate.left, predicate.right)
-                            if predicate.right.binding == binding
-                            else (predicate.right, predicate.left))
-            left_keys = envs[inner.binding].lookup(inner.key)[
-                indices[inner.binding]
-            ]
-            right_keys = envs[binding].lookup(outer.key)
-            domain = union_key_domain(left_keys, right_keys)
-            n, m, k = left_keys.size, right_keys.size, domain.k
-            pairs = equi_join_count(domain.left, domain.right)
-            geometry = OperatorGeometry(
-                g1=n, g2=m, k=k, nnz_left=n, nnz_right=m, n_tuples=n + m,
-                raw_bytes=8.0 * (n + m), result_rows=pairs, n_matmuls=1,
-            )
-            feasibility = run_feasibility_test(INDICATOR_RANGE,
-                                               INDICATOR_RANGE, k)
-            decision = self.optimizer.decide(geometry, feasibility, pairs,
-                                             grouped=False)
-            decision = self._apply_decision_overrides(decision)
-            if not decision.use_tcu and not self.options.force_strategy:
-                return self._fall_back(bound, f"step {binding}: "
-                                       + decision.reason)
-            decisions.append(decision)
-            prepared = PreparedJoin(
-                op="=", left_keys_mapped=domain.left,
-                right_keys_mapped=domain.right,
-                domain_values=domain.values, k=k,
-            )
-            run = self.driver.join_2way(prepared, decision.plan)
-            breakdown = breakdown.merge(run.breakdown)
-            if run.arrays is None:
-                current_rows = run.n_rows
-                indices = {}
-                joined.add(binding)
-                continue
-            left_idx, right_idx = run.arrays
-            indices = {b: idx[left_idx] for b, idx in indices.items()}
-            indices[binding] = right_idx
-            joined.add(binding)
-            current_rows = int(left_idx.size)
-        table = None
-        if indices:
-            arrays, names = [], []
-            for item, column in zip(bound.select_items, pattern.projected):
-                if isinstance(column, float):
-                    arrays.append(np.full(current_rows, column))
-                    names.append(item.output_name)
-                    continue
-                env = envs[column.binding]
-                arrays.append(env.lookup(column.key)[indices[column.binding]])
-                names.append(item.output_name)
-            arrays, names = self._apply_order_limit(bound, arrays, names)
-            table = self._build_table(bound, arrays, names, pattern.projected)
-        program = generate_program(
-            decisions[-1].plan, 0, 0, 0,
-            op_label=f"TCU multi-way join ({len(decisions)} steps)",
-        ) if decisions else None
-        return QueryResult(
-            engine=self.name,
-            n_rows=current_rows,
-            breakdown=breakdown,
-            table=table,
-            plan_description="\n---\n".join(d.explain() for d in decisions),
-            extra={
-                "decisions": decisions,
-                "generated_code": program,
-                "strategy": decisions[-1].plan.strategy.value
-                if decisions else None,
-            },
-        )
-
-    @staticmethod
-    def _pick_chain_predicate(predicates, joined, binding):
-        for predicate in predicates:
-            bindings = {predicate.left.binding, predicate.right.binding}
-            if binding in bindings and bindings - {binding} <= joined:
-                return predicate
-        return None
-
-    # -- output helpers ------------------------------------------------------------- #
-
-    def _apply_order_limit(self, bound: BoundQuery, arrays, names):
-        # Shared strict helper: unresolvable ORDER BY keys raise instead
-        # of being silently skipped (which mis-ordered LIMIT results).
-        if arrays and arrays[0] is not None:
-            arrays = apply_order_limit(bound, list(arrays), list(names))
-        return arrays, names
 
     def _build_table(self, bound: BoundQuery, arrays, names,
                      columns: list[BoundColumn | None]) -> Table:

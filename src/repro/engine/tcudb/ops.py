@@ -1,0 +1,1335 @@
+"""Composable TCU operators: the nodes of a :class:`TensorProgram` DAG.
+
+Each operator implements ``execute(ctx)`` — reading its input payloads
+from the program context's value store, charging simulated time, and
+returning its own payload — plus ``describe()`` (plan listing) and
+``emission(ctx)`` (its per-operator CUDA section for the code
+generator).  The catalog:
+
+* :class:`TableSource`    — scan one binding, apply its local filters;
+* :class:`FoldJoin`       — one chained-join step folding a dimension
+  into the fact side (Section 3.2's matrix->table conversion);
+* :class:`IndicatorBuild` — union key domain + indicator/comparison
+  operand matrices for one join step (Section 3.1/3.4 encodings);
+* :class:`ValueFill`      — value-filled grouped operand matrices for a
+  join+aggregate product, or the Lemma-3.1 grouped-reduce encoding of an
+  already-materialized relation (hybrid mode);
+* :class:`Gemm`           — run the Figure-6 optimizer workflow for this
+  product (range/working-set/density tests, adaptive precision, cost
+  comparison) and execute the matrix multiply;
+* :class:`NonzeroExtract` — nonzero() extraction of matching pairs,
+  extending the join chain;
+* :class:`GridAggregate`  — harvest non-empty cells of the aggregate
+  grids (AVG division, group-key decoding);
+* :class:`MaskApply`      — residual predicates over the fact side or
+  extracted pairs, and HAVING over the aggregated grid;
+* :class:`PhysicalStage`  — conventional pre-stage executing the
+  non-TCU-expressible prefix of the plan (hybrid execution);
+* :class:`Decode`         — project output columns / evaluate output
+  expressions into result arrays.
+
+The payload dataclasses (``RelationValue``, ``ChainValue``, ...) are the
+typed edges of the DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ExecutionError
+from repro.common.timing import STAGE_FILL
+from repro.engine.base import ExecutionMode
+from repro.engine.physical import PhysicalExecutor
+from repro.engine.relational import equi_join_count
+from repro.engine.tcudb.codegen import OpEmission
+from repro.engine.tcudb.cost import (
+    OperatorGeometry,
+    estimate_fold_step,
+    estimate_mask_apply,
+    estimate_physical_stage,
+)
+from repro.engine.tcudb.driver import (
+    CompositeKey,
+    PreparedAggSide,
+    PreparedJoin,
+)
+from repro.engine.tcudb.feasibility import (
+    INDICATOR_RANGE,
+    FeasibilityReport,
+    run_feasibility_test,
+)
+from repro.engine.tcudb.patterns import (
+    AggRef,
+    AggregateSpec,
+    ConstRef,
+    GroupRef,
+    OutputItem,
+    OutputNode,
+    OutputOp,
+    TCUPattern,
+)
+from repro.engine.tcudb.transform import union_key_domain
+from repro.sql.ast_nodes import Expr, Predicate
+from repro.sql.binder import BoundColumn, JoinPredicate
+from repro.sql.eval import (
+    Environment,
+    conjunction_mask,
+    encode_literal,
+    evaluate_expr,
+    predicate_mask,
+)
+from repro.sql.logical import Join as JoinNode
+from repro.sql.logical import LogicalNode, Scan
+
+# Per-qualifying-record cost of one chained-join step's matrix->table
+# conversion and intermediate rebuild (Section 3.2's step 2/3).  Fitted to
+# the paper's SSB results, where TCUDB's star joins win by 1.3x-3.7x over
+# YDB rather than by orders of magnitude.
+CHAINED_JOIN_FILL_S = 150e-9
+
+
+class FallbackRequired(Exception):
+    """An operator determined the program cannot (or should not) run on
+    the TCU; the engine falls back to the conventional plan."""
+
+    def __init__(self, reason: str, kind: str = "cost"):
+        super().__init__(reason)
+        self.reason = reason
+        self.kind = kind
+
+
+# --------------------------------------------------------------------------- #
+# Payloads — the typed edges of the DAG
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class RelationValue:
+    """A materialized (filtered) relation."""
+
+    env: Environment
+
+    @property
+    def n_rows(self) -> int:
+        return self.env.n_rows
+
+
+@dataclass
+class FactValue:
+    """The fact side of a star, with folded-dimension state."""
+
+    env: Environment
+    weights: np.ndarray
+    gathered: dict[str, np.ndarray]
+
+    @property
+    def n_rows(self) -> int:
+        return self.env.n_rows
+
+    def column(self, key: str) -> np.ndarray:
+        if key in self.gathered:
+            return self.gathered[key]
+        return self.env.lookup(key)
+
+    def eval_environment(self) -> Environment:
+        """Fact env extended with the gathered dimension columns."""
+        arrays = dict(self.env.arrays)
+        arrays.update(self.gathered)
+        return Environment(arrays, self.env.n_rows)
+
+    def filtered(self, mask: np.ndarray) -> "FactValue":
+        return FactValue(
+            env=self.env.filtered(mask),
+            weights=self.weights[mask],
+            gathered={k: np.asarray(v)[mask] for k, v in self.gathered.items()},
+        )
+
+
+@dataclass
+class ChainValue:
+    """State of a (possibly multi-step) join chain.
+
+    ``indices[binding]`` maps each output row to a row of that binding's
+    scanned environment.  ``indices`` is empty when the chain is not
+    materialized (ANALYTIC estimates)."""
+
+    envs: dict[str, Environment]
+    indices: dict[str, np.ndarray]
+    n_rows: int
+    joined: set[str] = field(default_factory=set)
+
+    @property
+    def materialized(self) -> bool:
+        return bool(self.indices)
+
+    def keys_of(self, column: BoundColumn) -> np.ndarray:
+        keys = self.envs[column.binding].lookup(column.key)
+        return keys[self.indices[column.binding]]
+
+    def merged_environment(self) -> Environment:
+        arrays: dict[str, np.ndarray] = {}
+        for binding in self.joined:
+            env = self.envs[binding]
+            index = self.indices[binding]
+            for key, array in env.arrays.items():
+                arrays[key] = array[index]
+        return Environment(arrays, self.n_rows)
+
+
+@dataclass
+class JoinOperandsValue:
+    """Operand matrices of one join product (indicator/comparison)."""
+
+    prepared: PreparedJoin
+    geometry: OperatorGeometry
+    feasibility: FeasibilityReport
+    pairs: int
+    chain: ChainValue
+    right_env: Environment
+    right_binding: str
+    inner_binding: str
+
+
+@dataclass
+class AggOperandsValue:
+    """Operand matrices of one join+aggregate (or grouped-reduce) product."""
+
+    left: PreparedAggSide | None
+    right: PreparedAggSide | None
+    k: int
+    geometry: OperatorGeometry | None
+    feasibility: FeasibilityReport | None
+    pairs: int
+    specs: list[AggregateSpec]
+    grouped: bool
+    empty: bool = False
+
+
+@dataclass
+class ProductValue:
+    """Output of one Gemm: a dense product / grids, or a deferred handle."""
+
+    operands: JoinOperandsValue | AggOperandsValue
+    dense: np.ndarray | None = None  # join product (numeric emulation)
+    grids: list[np.ndarray] | None = None  # one grid per aggregate
+    count_grid: np.ndarray | None = None
+    semantic: bool = False  # extraction defers to exact-key kernels
+    empty: bool = False
+
+
+@dataclass
+class GroupsValue:
+    """Aggregated output grid, harvested to per-group arrays."""
+
+    agg_values: list[np.ndarray] | None  # None in ANALYTIC mode
+    group_columns: dict[str, np.ndarray] | None
+    n_rows: int
+    empty: bool = False
+
+
+@dataclass
+class OutputValue:
+    """Final output arrays (pre ORDER BY / LIMIT)."""
+
+    arrays: list[np.ndarray] | None
+    names: list[str]
+    by_columns: list
+    n_rows: int
+
+
+# --------------------------------------------------------------------------- #
+# Operators
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class TensorOp:
+    """Base operator: an id plus input op ids."""
+
+    id: str
+
+    kind = "op"
+
+    def input_ids(self) -> list[str]:
+        return []
+
+    def describe(self) -> str:
+        return f"{self.id}: {type(self).__name__}"
+
+    def emission(self, ctx) -> OpEmission | None:
+        return None
+
+    def execute(self, ctx):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass
+class TableSource(TensorOp):
+    """Scan one binding and apply its local filter conjuncts."""
+
+    binding: str
+
+    kind = "scan"
+
+    def describe(self) -> str:
+        return f"{self.id}: TableSource({self.binding})"
+
+    def emission(self, ctx) -> OpEmission:
+        return OpEmission(
+            kind="scan",
+            label=f"Scan+Filter({self.binding})",
+            lines=[f"  // host: scan {self.binding}, apply local predicates"],
+        )
+
+    def execute(self, ctx) -> RelationValue:
+        env = Environment.from_table(ctx.bound, self.binding)
+        filters = ctx.bound.filters.get(self.binding, [])
+        if filters:
+            ctx.charge(self, STAGE_FILL,
+                       env.n_rows * ctx.host.scan_elem_s * len(filters))
+            env = env.filtered(conjunction_mask(filters, env, ctx.bound))
+        return RelationValue(env=env)
+
+
+@dataclass
+class ChainStart(TensorOp):
+    """Seed the join chain with its first (scanned, filtered) binding."""
+
+    input: str
+    binding: str
+
+    kind = "chain_start"
+
+    def input_ids(self) -> list[str]:
+        return [self.input]
+
+    def describe(self) -> str:
+        return f"{self.id}: ChainStart({self.binding})"
+
+    def execute(self, ctx) -> ChainValue:
+        relation: RelationValue = ctx.value(self.input)
+        return ChainValue(
+            envs={self.binding: relation.env},
+            indices={self.binding: np.arange(relation.env.n_rows)},
+            n_rows=relation.env.n_rows,
+            joined={self.binding},
+        )
+
+
+@dataclass
+class FoldJoin(TensorOp):
+    """Fold one non-B dimension into the fact side.
+
+    One step of the paper's multi-way join chain (Section 3.2): a join
+    realized as a matrix product followed by a CUDA nonzero()
+    matrix->table conversion that rebuilds the intermediate for the next
+    step.  We charge that per-qualifying-record conversion cost and
+    shrink the fact side progressively, so selective dimensions (e.g.
+    SSB Q4.1's region filters) make the remaining chain cheaper — as in
+    the paper.
+
+    Unique-key dimensions gather their group/factor/residual columns
+    onto fact rows; duplicate-key dimensions that contribute nothing
+    multiply the fact weight by their key multiplicity (exact bag
+    semantics).
+    """
+
+    fact_input: str
+    dim_input: str
+    dim_binding: str
+    fact_column: BoundColumn
+    dim_column: BoundColumn
+    needed: list[str]
+
+    kind = "fold"
+
+    def input_ids(self) -> list[str]:
+        return [self.fact_input, self.dim_input]
+
+    def describe(self) -> str:
+        return (f"{self.id}: FoldJoin({self.fact_column.key} = "
+                f"{self.dim_column.key}, gather={self.needed or '[]'})")
+
+    def emission(self, ctx) -> OpEmission:
+        return OpEmission(
+            kind="fold",
+            label=f"FoldJoin({self.dim_binding})",
+            lines=[
+                f"  // chained-join step: fold {self.dim_binding} into the "
+                "fact side",
+                "  fold_gather_kernel<<<grid, block>>>"
+                f"(d_fact_keys, d_{self.dim_binding}_keys, d_gathered);",
+            ],
+        )
+
+    def execute(self, ctx) -> FactValue:
+        fact = ctx.value(self.fact_input)
+        if isinstance(fact, RelationValue):
+            fact = FactValue(env=fact.env,
+                             weights=np.ones(fact.env.n_rows), gathered={})
+        dim_env = ctx.value(self.dim_input).env
+        dim_keys = dim_env.lookup(self.dim_column.key)
+        fact_keys = fact.column(self.fact_column.key)
+        # Chained-join step: matrix fill + product + nonzero() conversion
+        # of the intermediate back to tuples.
+        ctx.charge(
+            self, STAGE_FILL,
+            estimate_fold_step(ctx.host, ctx.device, fact_keys.size,
+                               dim_keys.size, CHAINED_JOIN_FILL_S),
+        )
+        unique_keys = np.unique(dim_keys)
+        if unique_keys.size == 0:
+            # Filtered dimension is empty: the join eliminates every
+            # fact row.
+            empty = np.zeros(fact.env.n_rows, dtype=bool)
+            folded = fact.filtered(empty)
+            for key in self.needed:
+                folded.gathered[key] = np.array([], dtype=np.int64)
+            return folded
+        is_unique = unique_keys.size == dim_keys.size
+        if self.needed and not is_unique:
+            raise FallbackRequired(
+                f"dimension {self.dim_binding} has duplicate join keys but "
+                "contributes group/factor columns",
+                kind="pattern",
+            )
+        positions = np.searchsorted(unique_keys, fact_keys)
+        positions = np.clip(positions, 0, max(unique_keys.size - 1, 0))
+        matched = unique_keys[positions] == fact_keys
+        weights = fact.weights
+        gathered = dict(fact.gathered)
+        if is_unique:
+            row_of = np.argsort(dim_keys, kind="stable")
+            dim_rows = row_of[np.clip(positions, 0,
+                                      max(dim_keys.size - 1, 0))]
+            for key in self.needed:
+                gathered[key] = dim_env.lookup(key)[dim_rows]
+        else:
+            counts = np.bincount(
+                np.searchsorted(unique_keys, dim_keys),
+                minlength=max(unique_keys.size, 1),
+            )
+            multiplicity = np.where(matched, counts[positions], 0)
+            weights = weights * multiplicity
+        folded = FactValue(env=fact.env, weights=weights, gathered=gathered)
+        if not matched.all():
+            folded = folded.filtered(matched)
+        return folded
+
+
+@dataclass
+class IndicatorBuild(TensorOp):
+    """Build the operand matrices of one join step (Section 3.1/3.4).
+
+    Consumes the chain state plus the next table's relation, derives the
+    union key domain, and produces the prepared indicator (equi) or
+    comparison (non-equi) matrices together with the operator geometry
+    and the data-range feasibility report the downstream ``Gemm``
+    prices.  ``profile`` selects the geometry accounting: ``two_way``
+    (the 2-table pattern, non-equi aware) or ``chain_step`` (one link of
+    a multi-way chain).
+    """
+
+    chain_input: str
+    right_input: str
+    predicate: JoinPredicate
+    right_binding: str
+    profile: str = "two_way"
+
+    kind = "indicator_build"
+
+    def input_ids(self) -> list[str]:
+        return [self.chain_input, self.right_input]
+
+    def describe(self) -> str:
+        return (f"{self.id}: IndicatorBuild({self.predicate.left.key} "
+                f"{self.predicate.op} {self.predicate.right.key})")
+
+    def emission(self, ctx) -> OpEmission:
+        return OpEmission(
+            kind="indicator_build",
+            label=f"IndicatorBuild({self.predicate.op})",
+            consumer_id=getattr(self, "consumer_id", None),
+            transform=True,
+        )
+
+    def execute(self, ctx) -> JoinOperandsValue:
+        chain: ChainValue = ctx.value(self.chain_input)
+        right: RelationValue = ctx.value(self.right_input)
+        predicate = self.predicate
+        inner, outer = ((predicate.left, predicate.right)
+                        if predicate.right.binding == self.right_binding
+                        else (predicate.right, predicate.left))
+        if chain.materialized:
+            left_keys = chain.keys_of(inner)
+        else:
+            # ANALYTIC chains past the first unmaterialized step: estimate
+            # from the unfiltered inner-side keys (exact per-step counts
+            # are still produced for materialized prefixes).
+            left_keys = chain.envs[inner.binding].lookup(inner.key)
+        right_keys = right.env.lookup(outer.key)
+        domain = union_key_domain(left_keys, right_keys)
+        n, m, k = left_keys.size, right_keys.size, domain.k
+        if self.profile == "two_way":
+            nnz_left = _comparison_nnz(domain, predicate.op, n)
+            pairs = _pair_count(domain, predicate.op)
+            raw_bytes = 8.0 * (
+                n * ctx.referenced_columns(inner.binding)
+                + m * ctx.referenced_columns(outer.binding)
+            )
+        else:
+            nnz_left = n
+            pairs = equi_join_count(domain.left, domain.right)
+            raw_bytes = 8.0 * (n + m)
+        geometry = OperatorGeometry(
+            g1=n, g2=m, k=k, nnz_left=nnz_left, nnz_right=m,
+            n_tuples=n + m, raw_bytes=raw_bytes, result_rows=pairs,
+            n_matmuls=1, needs_nonzero=True,
+        )
+        feasibility = run_feasibility_test(
+            INDICATOR_RANGE, INDICATOR_RANGE, k,
+            require_exact=(ctx.options.require_exact
+                           if self.profile == "two_way" else False),
+        )
+        prepared = PreparedJoin(
+            op=predicate.op if self.profile == "two_way" else "=",
+            left_keys_mapped=domain.left,
+            right_keys_mapped=domain.right,
+            domain_values=domain.values,
+            k=k,
+        )
+        return JoinOperandsValue(
+            prepared=prepared, geometry=geometry, feasibility=feasibility,
+            pairs=pairs, chain=chain, right_env=right.env,
+            right_binding=self.right_binding, inner_binding=inner.binding,
+        )
+
+
+@dataclass
+class ValueFill(TensorOp):
+    """Build value-filled grouped operand matrices for one aggregate
+    product.
+
+    Two modes:
+
+    * ``star`` — the pattern lowering: the folded fact side joins the B
+      dimension; values are the per-side products of the decomposed
+      aggregate factors (Section 3.1's grouped/adjacency construction).
+    * ``reduce`` — hybrid lowering (Lemma 3.1): a fully materialized
+      relation reduces against a ones-vector; aggregate arguments are
+      arbitrary scalar expressions evaluated per row, the inner
+      dimension is the row index.
+    """
+
+    left_input: str
+    right_input: str | None
+    mode: str  # "star" | "reduce"
+    specs: list[AggregateSpec]
+    group_by: list[BoundColumn]
+    # star mode only:
+    pattern: TCUPattern | None = None
+    b_side: str | None = None
+    fact_column: BoundColumn | None = None
+    b_column: BoundColumn | None = None
+    # reduce mode only: one argument expression (or None for COUNT) per spec
+    arguments: list[Expr | None] = field(default_factory=list)
+
+    kind = "value_fill"
+
+    def input_ids(self) -> list[str]:
+        ids = [self.left_input]
+        if self.right_input is not None:
+            ids.append(self.right_input)
+        return ids
+
+    def describe(self) -> str:
+        funcs = ",".join(s.func for s in self.specs) or "-"
+        keys = ",".join(c.key for c in self.group_by) or "<global>"
+        return (f"{self.id}: ValueFill[{self.mode}](aggs={funcs}, "
+                f"group_by={keys})")
+
+    def emission(self, ctx) -> OpEmission:
+        return OpEmission(
+            kind="value_fill",
+            label=f"ValueFill[{self.mode}]",
+            consumer_id=getattr(self, "consumer_id", None),
+            transform=True,
+        )
+
+    def execute(self, ctx) -> AggOperandsValue:
+        if self.mode == "reduce":
+            return self._execute_reduce(ctx)
+        return self._execute_star(ctx)
+
+    # -- star (pattern) mode ------------------------------------------- #
+
+    def _execute_star(self, ctx) -> AggOperandsValue:
+        fact = ctx.value(self.left_input)
+        if isinstance(fact, RelationValue):
+            fact = FactValue(env=fact.env,
+                             weights=np.ones(fact.env.n_rows), gathered={})
+        b_env = ctx.value(self.right_input).env
+        grouped = bool(self.pattern.group_by)
+        if fact.env.n_rows == 0 or b_env.n_rows == 0:
+            return AggOperandsValue(
+                left=None, right=None, k=0, geometry=None, feasibility=None,
+                pairs=0, specs=self.specs, grouped=grouped, empty=True,
+            )
+        fact_keys = fact.column(self.fact_column.key)
+        b_keys = b_env.lookup(self.b_column.key)
+        domain = union_key_domain(fact_keys, b_keys)
+        bound = ctx.bound
+        fact_binding = self.pattern.fact
+        dims = {t.binding for t in bound.tables} - {fact_binding, self.b_side}
+        left_side = _build_agg_side(
+            self.specs, self.group_by, fact.column, domain.left,
+            side_bindings={fact_binding} | dims, weights=fact.weights,
+            b_side=False,
+        )
+        right_side = _build_agg_side(
+            self.specs, self.group_by, b_env.lookup, domain.right,
+            side_bindings={self.b_side}, weights=np.ones(b_keys.size),
+            b_side=True,
+        )
+        pairs = equi_join_count(domain.left, domain.right)
+        geometry = _agg_geometry(
+            ctx, self.specs, left_side, right_side, domain.k, pairs,
+            fact_binding, self.b_side,
+        )
+        feasibility = _agg_feasibility(
+            self.specs, left_side, right_side, domain.k,
+            require_exact=ctx.options.require_exact,
+        )
+        return AggOperandsValue(
+            left=left_side, right=right_side, k=domain.k, geometry=geometry,
+            feasibility=feasibility, pairs=pairs, specs=self.specs,
+            grouped=grouped,
+        )
+
+    # -- reduce (hybrid) mode ------------------------------------------ #
+
+    def _execute_reduce(self, ctx) -> AggOperandsValue:
+        relation: RelationValue = ctx.value(self.left_input)
+        env = relation.env
+        n = env.n_rows
+        grouped = bool(self.group_by)
+        if n == 0:
+            return AggOperandsValue(
+                left=None, right=None, k=0, geometry=None, feasibility=None,
+                pairs=0, specs=self.specs, grouped=grouped, empty=True,
+            )
+        group = None
+        group_order = [c.key for c in self.group_by]
+        if self.group_by:
+            group = CompositeKey.build(
+                [np.asarray(env.lookup(c.key)) for c in self.group_by]
+            )
+        values_per_agg: list[np.ndarray] = []
+        for spec, argument in zip(self.specs, self.arguments):
+            if spec.func == "count" or argument is None:
+                values_per_agg.append(np.ones(n))
+                continue
+            values = evaluate_expr(argument, env, ctx.bound)
+            values_per_agg.append(np.asarray(values, dtype=np.float64))
+        left_side = PreparedAggSide(
+            keys_mapped=np.arange(n, dtype=np.int64),
+            group=group,
+            values_per_agg=values_per_agg,
+            count_values=np.ones(n),
+            group_order=group_order,
+        )
+        right_side = PreparedAggSide(
+            keys_mapped=np.arange(n, dtype=np.int64),
+            group=None,
+            values_per_agg=[np.ones(n) for _ in self.specs],
+            count_values=np.ones(n),
+        )
+        value_specs = sum(1 for s in self.specs if s.func != "count")
+        g1 = left_side.g
+        geometry = OperatorGeometry(
+            g1=g1, g2=1, k=n,
+            nnz_left=n, nnz_right=n,
+            n_tuples=n,
+            raw_bytes=8.0 * n * max(len(self.group_by) + len(self.specs), 1),
+            result_rows=min(g1, n),
+            n_matmuls=value_specs + 1,
+            needs_nonzero=True,
+            fill_scale=4.0 if value_specs else 1.0,
+        )
+        feasibility = _agg_feasibility(
+            self.specs, left_side, right_side, n,
+            require_exact=ctx.options.require_exact,
+        )
+        return AggOperandsValue(
+            left=left_side, right=right_side, k=n, geometry=geometry,
+            feasibility=feasibility, pairs=n, specs=self.specs,
+            grouped=grouped,
+        )
+
+
+@dataclass
+class Gemm(TensorOp):
+    """Price (Figure 6) and execute one matrix product.
+
+    Runs the per-operator optimizer workflow over the operand geometry
+    and feasibility report, charges the chosen plan's transform/compute/
+    result costs, and performs the product — bit-accurate TCU emulation
+    when the matrices are small enough to materialize, the semantically
+    equivalent exact-key path beyond that.
+    """
+
+    input: str
+    label: str = "TCU GEMM"
+
+    kind = "gemm"
+
+    def input_ids(self) -> list[str]:
+        return [self.input]
+
+    def describe(self) -> str:
+        return f"{self.id}: Gemm({self.label})"
+
+    def emission(self, ctx) -> OpEmission:
+        decision = ctx.decisions.get(self.id)
+        operands = ctx.values.get(self.input)
+        dims = (0, 0, 0)
+        n_matmuls = 1
+        if isinstance(operands, JoinOperandsValue):
+            dims = (operands.geometry.g1, operands.geometry.g2,
+                    operands.geometry.k)
+        elif isinstance(operands, AggOperandsValue) and operands.geometry:
+            dims = (operands.geometry.g1, operands.geometry.g2,
+                    operands.geometry.k)
+            n_matmuls = operands.geometry.n_matmuls
+        return OpEmission(
+            kind="gemm", label=self.label,
+            plan=decision.plan if decision else None,
+            dims=dims, n_matmuls=n_matmuls,
+        )
+
+    def execute(self, ctx) -> ProductValue:
+        operands = ctx.value(self.input)
+        if isinstance(operands, AggOperandsValue) and operands.empty:
+            return ProductValue(operands=operands, empty=True)
+        grouped = (operands.grouped
+                   if isinstance(operands, AggOperandsValue) else False)
+        decision = ctx.optimizer.decide(
+            operands.geometry, operands.feasibility, operands.pairs,
+            grouped=grouped, op_label=f"{self.id} ({self.label})",
+        )
+        ctx.record_decision(self.id, decision)
+        if not decision.use_tcu and not ctx.options.force_strategy:
+            kind = ("feasibility"
+                    if decision.feasibility is not None
+                    and not decision.feasibility.feasible else "cost")
+            raise FallbackRequired(decision.reason, kind=kind)
+        plan = decision.plan
+        if isinstance(operands, JoinOperandsValue):
+            ctx.charge_plan(self, plan, "tcu_join")
+            return self._execute_join(ctx, operands, plan)
+        stage = ("tcu_join_groupby_aggregation" if grouped
+                 else "tcu_join_aggregation")
+        ctx.charge_plan(self, plan, stage)
+        return self._execute_agg(ctx, operands, plan)
+
+    def _execute_join(self, ctx, operands: JoinOperandsValue,
+                      plan) -> ProductValue:
+        prepared = operands.prepared
+        if not ctx.driver.use_numeric_join(prepared, ctx.mode):
+            return ProductValue(operands=operands, semantic=True)
+        left, right = ctx.driver.join_operand_matrices(prepared)
+        product = ctx.driver._execute_gemm(left, right.T, plan)
+        return ProductValue(operands=operands, dense=product)
+
+    def _execute_agg(self, ctx, operands: AggOperandsValue,
+                     plan) -> ProductValue:
+        left, right = operands.left, operands.right
+        g1, g2, k = left.g, right.g, operands.k
+        if ctx.mode != ExecutionMode.REAL:
+            return ProductValue(operands=operands, semantic=True)
+        if ctx.driver.use_numeric_grid(g1, g2, k):
+            grids, count_grid = ctx.driver._grids_by_matmul(
+                left, right, k, operands.specs, plan
+            )
+        else:
+            grids, count_grid = ctx.driver._grids_semantic(
+                left, right, operands.specs, g1, g2
+            )
+        return ProductValue(operands=operands, grids=grids,
+                            count_grid=count_grid)
+
+
+@dataclass
+class NonzeroExtract(TensorOp):
+    """nonzero() extraction of matching pairs; extends the join chain."""
+
+    input: str
+
+    kind = "nonzero"
+
+    def input_ids(self) -> list[str]:
+        return [self.input]
+
+    def describe(self) -> str:
+        return f"{self.id}: NonzeroExtract()"
+
+    def emission(self, ctx) -> OpEmission:
+        return OpEmission(
+            kind="nonzero", label="NonzeroExtract",
+            lines=["  nonzero_kernel<<<grid, block>>>"
+                   "(d_Ct, d_pairs, &n_pairs);"],
+        )
+
+    def execute(self, ctx) -> ChainValue:
+        product: ProductValue = ctx.value(self.input)
+        operands = product.operands
+        chain = operands.chain
+        if product.dense is not None:
+            left_idx, right_idx = np.nonzero(product.dense > 0)
+        elif ctx.mode == ExecutionMode.REAL:
+            left_idx, right_idx = ctx.driver._join_pairs_semantic(
+                operands.prepared
+            )
+        else:
+            # ANALYTIC: exact count, no materialization.
+            count = ctx.driver._join_count(operands.prepared)
+            return ChainValue(
+                envs={**chain.envs, operands.right_binding: operands.right_env},
+                indices={},
+                n_rows=count,
+                joined=chain.joined | {operands.right_binding},
+            )
+        left_idx = np.asarray(left_idx)
+        indices = {
+            binding: index[left_idx]
+            for binding, index in chain.indices.items()
+        }
+        indices[operands.right_binding] = np.asarray(right_idx)
+        return ChainValue(
+            envs={**chain.envs, operands.right_binding: operands.right_env},
+            indices=indices,
+            n_rows=int(np.asarray(left_idx).size),
+            joined=chain.joined | {operands.right_binding},
+        )
+
+
+@dataclass
+class GridAggregate(TensorOp):
+    """Harvest the non-empty cells of the aggregate grids.
+
+    Extracts present (group-left, group-right) cells via the COUNT grid,
+    applies AVG division, and decodes the composite group codes back
+    into physical group-column values.
+    """
+
+    input: str
+
+    kind = "grid_aggregate"
+
+    def input_ids(self) -> list[str]:
+        return [self.input]
+
+    def describe(self) -> str:
+        return f"{self.id}: GridAggregate()"
+
+    def emission(self, ctx) -> OpEmission:
+        return OpEmission(
+            kind="grid_aggregate", label="GridAggregate",
+            lines=[
+                "  nonzero_kernel<<<grid, block>>>"
+                "(d_count_grid, d_groups, &n_groups);",
+                "  avg_divide_kernel<<<grid, block>>>"
+                "(d_grids, d_count_grid, n_groups);",
+                "  decode_groups_kernel<<<grid, block>>>"
+                "(d_groups, d_group_labels);",
+            ],
+        )
+
+    def execute(self, ctx) -> GroupsValue:
+        product: ProductValue = ctx.value(self.input)
+        operands: AggOperandsValue = product.operands
+        if product.empty:
+            return GroupsValue(agg_values=[], group_columns={}, n_rows=0,
+                               empty=True)
+        left, right = operands.left, operands.right
+        if product.semantic and ctx.mode != ExecutionMode.REAL:
+            estimate = min(
+                left.g * right.g,
+                max(int(left.keys_mapped.size),
+                    int(right.keys_mapped.size), 1),
+            )
+            return GroupsValue(agg_values=None, group_columns=None,
+                               n_rows=estimate)
+        grids, count_grid = product.grids, product.count_grid
+        present = count_grid > 0
+        rows, cols = np.nonzero(present)
+        agg_values: list[np.ndarray] = []
+        for spec, grid in zip(operands.specs, grids):
+            values = grid[rows, cols]
+            if spec.func == "avg":
+                values = values / np.maximum(count_grid[rows, cols], 1)
+            agg_values.append(values)
+        group_columns: dict[str, np.ndarray] = {}
+        if left.group is not None:
+            decoded = left.group.decode(rows)
+            for column, values in zip(left.group_order, decoded):
+                group_columns[column] = values
+        if right.group is not None:
+            decoded = right.group.decode(cols)
+            for column, values in zip(right.group_order, decoded):
+                group_columns[column] = values
+        return GroupsValue(agg_values=agg_values,
+                           group_columns=group_columns,
+                           n_rows=int(rows.size))
+
+
+@dataclass
+class MaskApply(TensorOp):
+    """Predicate masks over intermediate results.
+
+    Roles:
+
+    * ``residual-fact``  — cross-table residual conjuncts over the fact
+      side after its dimensions folded (JOIN_AGG lowering);
+    * ``residual-pairs`` — residual conjuncts over extracted join pairs
+      (JOIN_2WAY / multiway lowering);
+    * ``having``         — HAVING conjuncts over the aggregated grid,
+      with aggregate sub-expressions compiled onto the grid's values.
+    """
+
+    input: str
+    predicates: list[Predicate]
+    role: str
+    having_nodes: dict[Expr, OutputNode] = field(default_factory=dict)
+
+    kind = "mask_apply"
+
+    def input_ids(self) -> list[str]:
+        return [self.input]
+
+    def describe(self) -> str:
+        conds = " AND ".join(str(p) for p in self.predicates)
+        return f"{self.id}: MaskApply[{self.role}]({conds})"
+
+    def emission(self, ctx) -> OpEmission:
+        return OpEmission(
+            kind="mask_apply", label=f"MaskApply[{self.role}]",
+            lines=[
+                f"  // {len(self.predicates)} predicate(s), role="
+                f"{self.role}",
+                "  mask_apply_kernel<<<grid, block>>>"
+                "(d_rows, d_mask, n_rows);",
+            ],
+        )
+
+    def execute(self, ctx):
+        value = ctx.value(self.input)
+        if isinstance(value, FactValue) or isinstance(value, RelationValue):
+            return self._mask_fact(ctx, value)
+        if isinstance(value, ChainValue):
+            return self._mask_chain(ctx, value)
+        if isinstance(value, GroupsValue):
+            return self._mask_groups(ctx, value)
+        raise ExecutionError(f"MaskApply cannot filter {type(value).__name__}")
+
+    def _charge(self, ctx, rows: int) -> None:
+        ctx.charge(
+            self, "tcu_mask_apply",
+            estimate_mask_apply(ctx.device, rows, len(self.predicates)),
+        )
+
+    def _mask_fact(self, ctx, value):
+        if isinstance(value, RelationValue):
+            value = FactValue(env=value.env,
+                              weights=np.ones(value.env.n_rows), gathered={})
+        self._charge(ctx, value.n_rows)
+        env = value.eval_environment()
+        mask = conjunction_mask(self.predicates, env, ctx.bound)
+        return value.filtered(mask)
+
+    def _mask_chain(self, ctx, chain: ChainValue) -> ChainValue:
+        self._charge(ctx, chain.n_rows)
+        if not chain.materialized:
+            # ANALYTIC estimate: half selectivity per conjunct (matches
+            # the baseline executor's unmaterialized Filter estimate).
+            n = int(chain.n_rows * 0.5 ** len(self.predicates))
+            return ChainValue(envs=chain.envs, indices={}, n_rows=n,
+                              joined=set(chain.joined))
+        env = chain.merged_environment()
+        mask = conjunction_mask(self.predicates, env, ctx.bound)
+        indices = {b: idx[mask] for b, idx in chain.indices.items()}
+        return ChainValue(envs=chain.envs, indices=indices,
+                          n_rows=int(np.count_nonzero(mask)),
+                          joined=set(chain.joined))
+
+    def _mask_groups(self, ctx, groups: GroupsValue) -> GroupsValue:
+        self._charge(ctx, groups.n_rows)
+        if groups.empty:
+            return groups
+        if groups.agg_values is None:
+            n = int(groups.n_rows * 0.5 ** len(self.predicates))
+            return GroupsValue(agg_values=None, group_columns=None, n_rows=n)
+        n = groups.n_rows
+
+        def eval_expr(expr: Expr) -> np.ndarray:
+            node = self.having_nodes.get(expr)
+            if node is None:
+                raise ExecutionError(
+                    f"HAVING expression {expr} was not lowered onto the grid"
+                )
+            return eval_output_node(node, groups.agg_values,
+                                    groups.group_columns, n)
+
+        mask = np.ones(n, dtype=bool)
+        for predicate in self.predicates:
+            mask &= predicate_mask(
+                predicate, n, eval_expr,
+                lambda ref, value: encode_literal(ctx.bound, ref, value),
+            )
+        return GroupsValue(
+            agg_values=[np.asarray(a)[mask] for a in groups.agg_values],
+            group_columns={k: np.asarray(v)[mask]
+                           for k, v in groups.group_columns.items()},
+            n_rows=int(np.count_nonzero(mask)),
+        )
+
+
+@dataclass
+class PhysicalStage(TensorOp):
+    """Conventional pre-stage of a hybrid program.
+
+    Executes the non-TCU-expressible relational prefix (joins, filters,
+    residual predicates) with the exact NumPy kernels of
+    :class:`~repro.engine.physical.PhysicalExecutor`, charging
+    host-executor time, and hands the materialized relation to the TCU
+    core (grouped-reduce ValueFill/Gemm).
+    """
+
+    tree: LogicalNode
+
+    kind = "physical_stage"
+
+    def describe(self) -> str:
+        roots = [n.describe() for n in self.tree.walk()]
+        return f"{self.id}: PhysicalStage({' <- '.join(roots[:1])}...)"
+
+    def emission(self, ctx) -> OpEmission:
+        return OpEmission(
+            kind="physical_stage", label="PhysicalStage (host pre-join)",
+            lines=["  // host executor: joins/filters beyond matmul "
+                   "expressiveness; ships the joined relation to the TCU"],
+        )
+
+    def execute(self, ctx) -> RelationValue:
+        if ctx.mode != ExecutionMode.REAL:
+            raise FallbackRequired(
+                "hybrid pre-stage requires REAL mode (materialized relation)",
+                kind="mode",
+            )
+        executor = PhysicalExecutor(ctx.bound)
+        try:
+            env = executor._run_relation(self.tree)
+        except ExecutionError as error:
+            raise FallbackRequired(
+                f"hybrid pre-stage exceeded materialization budget: {error}",
+                kind="cost",
+            ) from error
+        n_input = 0
+        n_joins = 0
+        for node in self.tree.walk():
+            if isinstance(node, Scan):
+                n_input += ctx.bound.binding(node.binding).table.num_rows
+            if isinstance(node, JoinNode):
+                n_joins += 1
+        ctx.charge(
+            self, "hybrid_prestage",
+            estimate_physical_stage(ctx.host, n_input, env.n_rows, n_joins),
+        )
+        return RelationValue(env=env)
+
+
+@dataclass
+class Decode(TensorOp):
+    """Materialize output arrays from the final pairs/groups payload."""
+
+    input: str
+    role: str  # "project" | "aggregate"
+    items: list = field(default_factory=list)  # SelectItems (project)
+    projected: list = field(default_factory=list)  # BoundColumn | float
+    outputs: list[OutputItem] = field(default_factory=list)  # aggregate
+
+    kind = "decode"
+
+    def input_ids(self) -> list[str]:
+        return [self.input]
+
+    def describe(self) -> str:
+        if self.role == "project":
+            cols = ", ".join(
+                c.key if isinstance(c, BoundColumn) else repr(c)
+                for c in self.projected
+            )
+        else:
+            cols = ", ".join(item.name for item in self.outputs)
+        return f"{self.id}: Decode[{self.role}]({cols})"
+
+    def emission(self, ctx) -> OpEmission:
+        return OpEmission(
+            kind="decode", label=f"Decode[{self.role}]",
+            lines=[
+                "  cudaMemcpyAsync(h_result, d_result, n_rows * row_bytes, "
+                "cudaMemcpyDeviceToHost, result_stream);",
+            ],
+        )
+
+    def execute(self, ctx) -> OutputValue:
+        value = ctx.value(self.input)
+        if self.role == "project":
+            return self._decode_chain(ctx, value)
+        return self._decode_groups(ctx, value)
+
+    def _decode_chain(self, ctx, chain: ChainValue) -> OutputValue:
+        names = [item.output_name for item in self.items]
+        if not chain.materialized:
+            return OutputValue(arrays=None, names=names,
+                               by_columns=list(self.projected),
+                               n_rows=chain.n_rows)
+        arrays: list[np.ndarray] = []
+        for column in self.projected:
+            if isinstance(column, float):
+                arrays.append(np.full(chain.n_rows, column))
+                continue
+            env = chain.envs[column.binding]
+            index = chain.indices.get(column.binding)
+            data = env.lookup(column.key)
+            arrays.append(data if index is None else data[index])
+        return OutputValue(arrays=arrays, names=names,
+                           by_columns=list(self.projected),
+                           n_rows=chain.n_rows)
+
+    def _decode_groups(self, ctx, groups: GroupsValue) -> OutputValue:
+        names = [item.name for item in self.outputs]
+        by_columns = [
+            item.node.column if isinstance(item.node, GroupRef) else None
+            for item in self.outputs
+        ]
+        if groups.empty:
+            return OutputValue(
+                arrays=[np.array([]) for _ in self.outputs],
+                names=names, by_columns=by_columns, n_rows=0,
+            )
+        if groups.agg_values is None:
+            return OutputValue(arrays=None, names=names,
+                               by_columns=by_columns, n_rows=groups.n_rows)
+        arrays = [
+            eval_output_node(item.node, groups.agg_values,
+                             groups.group_columns, groups.n_rows)
+            for item in self.outputs
+        ]
+        return OutputValue(arrays=arrays, names=names, by_columns=by_columns,
+                           n_rows=groups.n_rows)
+
+
+# --------------------------------------------------------------------------- #
+# Shared helpers (ported from the former engine monoliths)
+# --------------------------------------------------------------------------- #
+
+
+def _comparison_nnz(domain, op: str, n: int) -> int:
+    if op == "=":
+        return n
+    left_values = domain.values[domain.left]
+    sorted_domain = domain.values
+    if op == "<":
+        counts = domain.k - np.searchsorted(sorted_domain, left_values,
+                                            side="right")
+    elif op == "<=":
+        counts = domain.k - np.searchsorted(sorted_domain, left_values,
+                                            side="left")
+    elif op == ">":
+        counts = np.searchsorted(sorted_domain, left_values, side="left")
+    elif op == ">=":
+        counts = np.searchsorted(sorted_domain, left_values, side="right")
+    else:  # <>, !=
+        counts = np.full(n, domain.k - 1)
+    return int(counts.sum())
+
+
+def _pair_count(domain, op: str) -> int:
+    from repro.engine.relational import nonequi_join_count
+
+    if op == "=":
+        return equi_join_count(domain.left, domain.right)
+    return nonequi_join_count(
+        domain.values[domain.left], domain.values[domain.right], op
+    )
+
+
+def _build_agg_side(specs, group_by, column_of, mapped_keys, side_bindings,
+                    weights, b_side) -> PreparedAggSide:
+    group_cols = [c for c in group_by if c.binding in side_bindings]
+    group = None
+    group_order = [c.key for c in group_cols]
+    if group_cols:
+        group = CompositeKey.build(
+            [np.asarray(column_of(c.key)) for c in group_cols]
+        )
+    values_per_agg: list[np.ndarray] = []
+    n = mapped_keys.size
+    for spec in specs:
+        values = np.full(n, 1.0)
+        if not b_side:
+            values = values * spec.constant * weights
+        for factor in spec.factors:
+            if factor.column.binding not in side_bindings:
+                continue
+            array = np.asarray(column_of(factor.column.key), dtype=np.float64)
+            values = values * (array if factor.power == 1 else 1.0 / array)
+        values_per_agg.append(values)
+    count_values = weights if not b_side else np.ones(n)
+    return PreparedAggSide(
+        keys_mapped=np.asarray(mapped_keys),
+        group=group,
+        values_per_agg=values_per_agg,
+        count_values=np.asarray(count_values, dtype=np.float64),
+        group_order=group_order,
+    )
+
+
+def _agg_geometry(ctx, specs, left_side, right_side, k, pairs, fact,
+                  b_side) -> OperatorGeometry:
+    nnz_left = int(np.unique(
+        left_side.row_codes() * k + left_side.keys_mapped
+    ).size)
+    nnz_right = int(np.unique(
+        right_side.row_codes() * k + right_side.keys_mapped
+    ).size)
+    n = left_side.keys_mapped.size
+    m = right_side.keys_mapped.size
+    raw_bytes = 8.0 * (
+        n * ctx.referenced_columns(fact)
+        + m * ctx.referenced_columns(b_side)
+    )
+    value_specs = sum(1 for spec in specs if spec.func != "count")
+    has_value_fill = any(spec.factors for spec in specs)
+    return OperatorGeometry(
+        g1=left_side.g, g2=right_side.g, k=k,
+        nnz_left=nnz_left, nnz_right=nnz_right,
+        n_tuples=n + m, raw_bytes=raw_bytes,
+        result_rows=min(left_side.g * right_side.g, max(pairs, 1)),
+        n_matmuls=value_specs + 1,  # +1 for the COUNT/indicator grid
+        needs_nonzero=True,
+        fill_scale=4.0 if has_value_fill else 1.0,
+    )
+
+
+def _agg_feasibility(specs, left_side, right_side, k, require_exact=False):
+    """Exact data-range test over the prepared operand matrices.
+
+    Both sides are fully materialized by the time the optimizer decides,
+    so the test computes the exact per-cell sums each matrix will hold.
+    """
+    worst_left = _exact_cell_range(left_side, k, left_side.count_values)
+    worst_right = _exact_cell_range(right_side, k, right_side.count_values)
+    for i, spec in enumerate(specs):
+        if spec.func == "count":
+            continue
+        left_range = _exact_cell_range(left_side, k,
+                                       left_side.values_per_agg[i])
+        right_range = _exact_cell_range(right_side, k,
+                                        right_side.values_per_agg[i])
+        if left_range is None or right_range is None:
+            return run_feasibility_test(None, None, k)
+        worst_left = _wider(worst_left, left_range)
+        worst_right = _wider(worst_right, right_range)
+    return run_feasibility_test(
+        worst_left or INDICATOR_RANGE, worst_right or INDICATOR_RANGE, k,
+        require_exact=require_exact,
+    )
+
+
+def _exact_cell_range(side, k, values):
+    """Exact [min, max] of one operand matrix's cell sums (0 included for
+    empty cells); None when a value is non-finite (e.g. division by a
+    zero-valued column)."""
+    from repro.tensor.precision import ValueRange
+
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return INDICATOR_RANGE
+    if not np.all(np.isfinite(values)):
+        return None
+    cells = side.row_codes() * k + side.keys_mapped
+    _, inverse = np.unique(cells, return_inverse=True)
+    sums = np.bincount(inverse, weights=values)
+    # The fill values (not just the accumulated endpoints) decide
+    # integrality: fractional fills quantize to garbage at int4/int8.
+    integral = bool(np.all(values == np.rint(values)))
+    return ValueRange(float(min(sums.min(), 0.0)),
+                      float(max(sums.max(), 0.0)),
+                      integral=integral)
+
+
+def _wider(a, b):
+    from repro.tensor.precision import ValueRange
+
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return ValueRange(min(a.lo, b.lo), max(a.hi, b.hi),
+                      integral=a.is_integral and b.is_integral)
+
+
+def eval_output_node(node: OutputNode, agg_values, group_columns,
+                     n_rows) -> np.ndarray:
+    """Evaluate one output-expression tree over per-group arrays."""
+    if isinstance(node, AggRef):
+        return np.asarray(agg_values[node.index], dtype=np.float64)
+    if isinstance(node, ConstRef):
+        return np.full(n_rows, node.value)
+    if isinstance(node, GroupRef):
+        values = group_columns.get(node.column.key)
+        if values is None:
+            raise ExecutionError(
+                f"group column {node.column.key} missing from grid"
+            )
+        return np.asarray(values)
+    if isinstance(node, OutputOp):
+        left = eval_output_node(node.left, agg_values, group_columns,
+                                n_rows).astype(np.float64)
+        right = eval_output_node(node.right, agg_values, group_columns,
+                                 n_rows).astype(np.float64)
+        ops = {"+": np.add, "-": np.subtract, "*": np.multiply,
+               "/": np.divide, "%": np.mod}
+        return ops[node.op](left, right)
+    raise ExecutionError(f"bad output node {node!r}")
+
+
+__all__ = [
+    "CHAINED_JOIN_FILL_S",
+    "AggOperandsValue",
+    "ChainStart",
+    "ChainValue",
+    "Decode",
+    "FactValue",
+    "FallbackRequired",
+    "FoldJoin",
+    "Gemm",
+    "GridAggregate",
+    "GroupsValue",
+    "IndicatorBuild",
+    "JoinOperandsValue",
+    "MaskApply",
+    "NonzeroExtract",
+    "OutputValue",
+    "PhysicalStage",
+    "ProductValue",
+    "RelationValue",
+    "TableSource",
+    "TensorOp",
+    "ValueFill",
+    "eval_output_node",
+]

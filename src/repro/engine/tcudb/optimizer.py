@@ -84,8 +84,16 @@ class TCUOptimizer:
         pairs: int,
         grouped: bool,
         tile_pairs: float | None = None,
+        op_label: str | None = None,
     ) -> OptimizerDecision:
+        """Run the Figure-6 workflow for one operator's product.
+
+        ``op_label`` names the TensorProgram operator being priced, so
+        per-operator decisions stay attributable in the trace.
+        """
         trace: list[str] = []
+        if op_label:
+            trace.append(f"operator: {op_label}")
         gpu_s = estimate_gpu_baseline(self.device, geometry, pairs, grouped)
         cpu_s = estimate_cpu_baseline(self.host, geometry, pairs, grouped)
         if not feasibility.feasible:

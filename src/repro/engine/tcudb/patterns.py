@@ -1,7 +1,12 @@
-"""TCU-accelerated query pattern matching (Section 3).
+"""Whole-query shape classification — one lowering strategy among several.
 
-The analyzer inspects a bound query and decides whether it falls into one
-of the matmul-encodable patterns:
+Historically this module was the gatekeeper of TCU execution: a query
+either matched one of three shapes or abandoned the TCU entirely.  Since
+the TensorProgram refactor it is the *pattern lowering strategy*: the
+classifier below recognizes the matmul-encodable core shapes and
+:mod:`repro.engine.tcudb.lower` translates them (plus HAVING masks,
+residual-predicate masks and hybrid pre-stages) into a DAG of composable
+TCU operators (:mod:`repro.engine.tcudb.ops`).
 
 * ``JOIN_2WAY``  — Q1/Q5-style: two tables, one (equi or non-equi) join
   predicate, projection of plain columns, no aggregates.
@@ -10,9 +15,11 @@ of the matmul-encodable patterns:
   as a star around a fact table, SUM/COUNT/AVG aggregates whose arguments
   decompose into per-table multiplicative factors, optional GROUP BY.
 
-Anything else (MIN/MAX, additive aggregate arguments, disconnected joins,
-OR-predicates...) is beyond the TCU platform's expressiveness (Section
-3.4) and falls back to the conventional CPU/GPU engines.
+Constructs truly beyond matmul expressiveness (MIN/MAX, additive
+aggregate arguments that do not split linearly, disconnected joins)
+still reject with a :class:`MatchFailure`; HAVING and cross-table
+residual predicates are *not* rejected here any more — the lowering pass
+turns them into ``MaskApply`` operators.
 """
 
 from __future__ import annotations
@@ -114,28 +121,66 @@ class TCUPattern:
 
 @dataclass
 class MatchFailure:
-    """Why a query was rejected for TCU execution."""
+    """Why a query was rejected for TCU execution.
+
+    ``kind`` classifies the rejection for the fallback-rate surfaces:
+    ``pattern`` (expressiveness), ``cost`` (optimizer preferred the
+    conventional plan), ``feasibility`` (data-range test failed) or
+    ``mode`` (execution mode cannot support the plan).
+    """
 
     reason: str
+    kind: str = "pattern"
 
 
 def match_pattern(bound: BoundQuery) -> TCUPattern | MatchFailure:
-    """Classify a bound query into a TCU pattern or explain the rejection."""
+    """Classify a bound query into a TCU pattern or explain the rejection.
+
+    HAVING and residual predicates are deliberately *not* inspected: the
+    lowering pass attaches them as ``MaskApply`` operators over the
+    matched core shape.
+    """
     if len(bound.tables) < 2:
         return MatchFailure("single-table query: nothing to encode as a join")
     if not bound.join_predicates:
         return MatchFailure("no join predicate between the tables")
-    if bound.residuals:
-        return MatchFailure(
-            "cross-table OR/residual predicates are beyond TCU patterns"
-        )
-    if bound.having:
-        return MatchFailure(
-            "HAVING filters aggregate outputs; beyond TCU matmul patterns"
-        )
     if bound.has_aggregates:
         return _match_join_agg(bound)
     return _match_join_project(bound)
+
+
+def build_having_nodes(
+    bound: BoundQuery, pattern: TCUPattern
+) -> dict[Expr, OutputNode] | MatchFailure:
+    """Lower HAVING expressions onto the aggregate grid.
+
+    Every scalar expression appearing in a HAVING predicate is compiled
+    to an :data:`OutputNode` over the pattern's aggregate results —
+    appending additional :class:`AggregateSpec` entries for aggregates
+    that are not in the select list (e.g. ``HAVING COUNT(*) > 1`` under a
+    SUM-only projection).  Returns the expression -> node mapping the
+    ``MaskApply`` operator evaluates per group, or a
+    :class:`MatchFailure` when a HAVING aggregate is beyond matmul
+    expressiveness (MIN/MAX, non-product arguments).
+    """
+    from repro.sql.ast_nodes import walk_predicate_exprs
+
+    group_keys = {c.key for c in pattern.group_by}
+    nodes: dict[Expr, OutputNode] = {}
+    for predicate in bound.having:
+        for expr in walk_predicate_exprs(predicate):
+            if isinstance(expr, Literal) and isinstance(expr.value, str):
+                # String literals are encoded against the compared
+                # column's dictionary by the predicate interpreter.
+                continue
+            if expr in nodes:
+                continue
+            node = _build_output_node(expr, bound, pattern.aggregates,
+                                      group_keys)
+            if isinstance(node, MatchFailure):
+                return MatchFailure(f"HAVING: {node.reason}")
+            nodes[expr] = node
+    return nodes
 
 
 # -- join-only patterns ---------------------------------------------------------- #

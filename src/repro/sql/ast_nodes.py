@@ -145,6 +145,16 @@ class InList(Predicate):
 
 
 @dataclass(frozen=True)
+class Negation(Predicate):
+    """``NOT predicate`` (also encodes ``expr NOT IN (...)``)."""
+
+    inner: Predicate
+
+    def __str__(self) -> str:
+        return f"NOT ({self.inner})"
+
+
+@dataclass(frozen=True)
 class Conjunction(Predicate):
     """AND of sub-predicates (appears inside OR arms and parentheses)."""
 
@@ -175,6 +185,8 @@ def walk_predicate_exprs(predicate: Predicate):
         yield predicate.high
     elif isinstance(predicate, InList):
         yield predicate.expr
+    elif isinstance(predicate, Negation):
+        yield from walk_predicate_exprs(predicate.inner)
     elif isinstance(predicate, Conjunction):
         for part in predicate.parts:
             yield from walk_predicate_exprs(part)
@@ -195,6 +207,8 @@ def map_predicate_exprs(predicate: Predicate, fn) -> Predicate:
                        high=fn(predicate.high))
     if isinstance(predicate, InList):
         return InList(expr=fn(predicate.expr), values=predicate.values)
+    if isinstance(predicate, Negation):
+        return Negation(inner=map_predicate_exprs(predicate.inner, fn))
     if isinstance(predicate, Conjunction):
         return Conjunction(parts=tuple(
             map_predicate_exprs(p, fn) for p in predicate.parts

@@ -23,6 +23,7 @@ from repro.sql.ast_nodes import (
     Expr,
     InList,
     Literal,
+    Negation,
     Predicate,
 )
 from repro.sql.binder import BoundQuery
@@ -157,6 +158,10 @@ def predicate_mask(
             values = [literal.value for literal in predicate.values]
         column = eval_expr(predicate.expr)
         return np.isin(column, np.asarray(values))
+    if isinstance(predicate, Negation):
+        # No NULLs in the storage layer, so two-valued logic applies and
+        # NOT is plain complement.
+        return ~predicate_mask(predicate.inner, n_rows, eval_expr, encode)
     if isinstance(predicate, Conjunction):
         mask = np.ones(n_rows, dtype=bool)
         for part in predicate.parts:

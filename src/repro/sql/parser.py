@@ -13,7 +13,8 @@ queries and the SSB queries use):
     table     := ident [AS ident | ident]
     bool      := andpred (OR andpred)*           -- AND binds tighter
     andpred   := boolprim (AND boolprim)*
-    boolprim  := '(' bool ')' | pred             -- disambiguated by backtrack
+    boolprim  := NOT boolprim | '(' bool ')' | pred
+                                                 -- disambiguated by backtrack
     pred      := expr cmp expr | expr BETWEEN expr AND expr
                | expr [NOT] IN '(' literal (',' literal)* ')'
     expr      := term (('+'|'-') term)*
@@ -38,6 +39,7 @@ from repro.sql.ast_nodes import (
     Expr,
     InList,
     Literal,
+    Negation,
     OrderItem,
     Parameter,
     Predicate,
@@ -214,6 +216,8 @@ class _Parser:
         return Conjunction(parts=tuple(parts))
 
     def _parse_bool_primary(self) -> Predicate:
+        if self._accept_keyword("not"):
+            return Negation(inner=self._parse_bool_primary())
         # '(' opens either a boolean group or an arithmetic sub-expression;
         # try the boolean reading first and backtrack on failure.
         token = self._peek()
@@ -243,9 +247,8 @@ class _Parser:
             while self._accept_punct(","):
                 values.append(self._parse_literal())
             self._expect_punct(")")
-            if negated:
-                raise ParseError("NOT IN is not supported")
-            return InList(expr=left, values=tuple(values))
+            in_list = InList(expr=left, values=tuple(values))
+            return Negation(inner=in_list) if negated else in_list
         token = self._peek()
         if token.type != TokenType.OPERATOR or token.value not in (
             "=", "<", ">", "<=", ">=", "<>", "!=",

@@ -22,11 +22,23 @@ from repro.sql.logical import (
 )
 
 
-def plan(bound: BoundQuery) -> LogicalNode:
-    """Build the logical plan for a bound query."""
+def plan_relation(bound: BoundQuery) -> LogicalNode:
+    """The relational prefix of the plan: joins + pushed-down filters +
+    residual Filter, before any aggregation/projection.
+
+    Shared by the baseline planner below and by TCUDB's hybrid lowering,
+    whose ``PhysicalStage`` operator executes exactly this prefix before
+    handing the materialized relation to the tensor core.
+    """
     node = _plan_joins(bound)
     if bound.residuals:
         node = Filter(input=node, predicates=list(bound.residuals))
+    return node
+
+
+def plan(bound: BoundQuery) -> LogicalNode:
+    """Build the logical plan for a bound query."""
+    node = plan_relation(bound)
     if bound.has_aggregates or bound.group_by:
         _validate_group_select(bound)
         node = Aggregate(

@@ -2,10 +2,12 @@
 
 A small random query generator over the SSB schema emits ~200 queries —
 single-table and star-join shapes, random filters (comparisons, BETWEEN,
-IN lists, single-table ORs), SUM/COUNT/AVG/MIN/MAX aggregates with
-arithmetic arguments, GROUP BY, HAVING, ORDER BY and LIMIT.  Every query
-runs through TCUDB (native or fallback) and ReferenceEngine; mismatches
-fail with the reproducing SQL in the message.
+IN / NOT IN lists, NOT-wrapped conjuncts, single-table ORs and
+**cross-table ORs** that exercise the residual ``MaskApply`` path),
+SUM/COUNT/AVG/MIN/MAX aggregates with arithmetic arguments, GROUP BY,
+HAVING (including negated HAVING), ORDER BY and LIMIT.  Every query runs
+through TCUDB (native, hybrid or fallback) and ReferenceEngine;
+mismatches fail with the reproducing SQL in the message.
 
 The RNG is fixed through :func:`repro.common.rng.make_rng`, so a failure
 reproduces by seed + query index alone.
@@ -124,7 +126,8 @@ class QueryGenerator:
             values = sorted(
                 {int(self.rng.integers(lo, hi + 1)) for _ in range(count)}
             )
-            return f"{column} IN ({', '.join(map(str, values))})"
+            negated = "NOT " if self.rng.random() < 0.3 else ""
+            return f"{column} {negated}IN ({', '.join(map(str, values))})"
         value = int(self.rng.integers(lo, hi + 1))
         op = "=" if kind == "eq" else self._choice(["<", "<=", ">", ">="])
         return f"{column} {op} {value}"
@@ -134,7 +137,8 @@ class QueryGenerator:
             count = int(self.rng.integers(2, 4))
             values = sorted({self._choice(pool) for _ in range(count)})
             quoted = ", ".join(f"'{v}'" for v in values)
-            return f"{column} IN ({quoted})"
+            negated = "NOT " if self.rng.random() < 0.25 else ""
+            return f"{column} {negated}IN ({quoted})"
         return f"{column} = '{self._choice(pool)}'"
 
     def _table_predicate(self, table: str) -> str | None:
@@ -161,11 +165,21 @@ class QueryGenerator:
             predicate = self._table_predicate(table)
             if predicate is None:
                 continue
-            # Occasionally wrap two same-table predicates in an OR group.
-            if self.rng.random() < 0.2:
+            roll = self.rng.random()
+            if roll < 0.2:
+                # Wrap two same-table predicates in an OR group.
                 other = self._table_predicate(table)
                 if other is not None and other != predicate:
                     predicate = f"({predicate} OR {other})"
+            elif roll < 0.45 and len(tables) >= 2:
+                # Cross-table OR: a residual conjunct exercising the
+                # MaskApply path (fold-side or pair-side).
+                others = [t for t in tables if t != table]
+                other = self._table_predicate(self._choice(others))
+                if other is not None:
+                    predicate = f"({predicate} OR {other})"
+            if self.rng.random() < 0.15:
+                predicate = f"NOT ({predicate})"
             conjuncts.append(predicate)
         return conjuncts
 
@@ -258,14 +272,22 @@ class QueryGenerator:
             sql += " WHERE " + " AND ".join(conjuncts)
         if group_cols:
             sql += " GROUP BY " + ", ".join(group_cols)
-        if aggregate and self.rng.random() < 0.25:
-            if self.rng.random() < 0.6:
-                sql += f" HAVING COUNT(*) > {int(self.rng.integers(1, 40))}"
-            else:
+        if aggregate and self.rng.random() < 0.3:
+            if self.rng.random() < 0.5:
+                having = f"COUNT(*) > {int(self.rng.integers(1, 40))}"
+            elif self.rng.random() < 0.6:
                 column = self._choice(numeric_cols)
                 _, hi = TABLE_NUMERIC[agg_source][column]
                 threshold = int(self.rng.integers(1, hi * 40))
-                sql += f" HAVING SUM({column}) > {threshold}"
+                having = f"SUM({column}) > {threshold}"
+            else:
+                column = self._choice(numeric_cols)
+                lo, hi = TABLE_NUMERIC[agg_source][column]
+                threshold = int(self.rng.integers(lo, hi + 1))
+                having = f"AVG({column}) > {threshold}"
+            if self.rng.random() < 0.2:
+                having = f"NOT ({having})"
+            sql += f" HAVING {having}"
         if self.rng.random() < 0.5:
             aliases = [item.split(" AS ")[-1] for item in items]
             directions = [
@@ -290,9 +312,10 @@ def fuzz_engines():
 
 
 def test_fuzzed_queries_match_oracle(fuzz_engines):
-    """~200 random queries: TCUDB (native or fallback) equals the oracle."""
+    """~200 random queries: TCUDB (native, hybrid or fallback) equals the
+    oracle."""
     generator = QueryGenerator(make_rng(FUZZ_SEED))
-    native = fallback = 0
+    native = hybrid = fallback = 0
     failures: list[str] = []
     for index in range(N_QUERIES):
         sql = generator.generate()
@@ -301,6 +324,8 @@ def test_fuzzed_queries_match_oracle(fuzz_engines):
             tcu = fuzz_engines["tcudb"].execute(sql)
             if tcu.extra.get("fallback_reason"):
                 fallback += 1
+            elif tcu.extra.get("executed_by") == "TCU-hybrid":
+                hybrid += 1
             else:
                 native += 1
             assert_results_match(
@@ -319,8 +344,9 @@ def test_fuzzed_queries_match_oracle(fuzz_engines):
             f"{len(failures)}/{N_QUERIES} fuzzed queries diverged from the "
             "oracle; reproducing SQL below\n" + "\n".join(failures[:10])
         )
-    # The generator must exercise both TCU execution paths.
+    # The generator must exercise all three TCU execution paths.
     assert native >= 20, f"only {native} fuzzed queries ran natively"
+    assert hybrid >= 10, f"only {hybrid} fuzzed queries ran hybrid"
     assert fallback >= 20, f"only {fallback} fuzzed queries fell back"
 
 
