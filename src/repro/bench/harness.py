@@ -37,6 +37,12 @@ class SeriesPoint:
     fallback_reason: str = ""
     fallback_kind: str = ""
     executed_by: str = ""  # "TCU" | "TCU-hybrid" | "YDB-fallback"
+    # Measured host wall-clock of the engine call (interpreter-level),
+    # alongside the machine-independent simulated ``seconds``.  The
+    # regression gate keeps using simulated seconds; host_seconds makes
+    # real interpreter-level speedups (e.g. the fusion pass) visible in
+    # reports.  None when the experiment did not measure it.
+    host_seconds: float | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -53,6 +59,7 @@ class SeriesPoint:
             "fallback_reason": self.fallback_reason,
             "fallback_kind": self.fallback_kind,
             "executed_by": self.executed_by,
+            "host_seconds": self.host_seconds,
         }
 
     @classmethod
@@ -71,6 +78,7 @@ class SeriesPoint:
             fallback_reason=data.get("fallback_reason", ""),
             fallback_kind=data.get("fallback_kind", ""),
             executed_by=data.get("executed_by", ""),
+            host_seconds=data.get("host_seconds"),
         )
 
 
@@ -274,6 +282,24 @@ def geometric_mean_ratio(result: ExperimentResult) -> float | None:
         for point in result.points
         if point.normalized and point.paper_value
     )
+
+
+def timed_execute(engine, sql: str, repeats: int = 1):
+    """Run ``engine.execute(sql)`` and measure host wall-clock.
+
+    Returns ``(result, host_seconds)`` with ``host_seconds`` the minimum
+    over ``repeats`` runs (minimum, not mean: scheduling noise only ever
+    adds time).  Attach via ``point.host_seconds``.
+    """
+    import time
+
+    result = None
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = engine.execute(sql)
+        best = min(best, time.perf_counter() - start)
+    return result, best
 
 
 def annotate_tcu_point(point: SeriesPoint, run) -> SeriesPoint:

@@ -21,6 +21,7 @@ from collections.abc import Callable, Iterator
 from repro.bench.exp_ablations import (
     run_ablation_density_switch,
     run_ablation_fused_agg,
+    run_ablation_fusion,
     run_ablation_precision,
     run_ablation_transform_location,
 )
@@ -84,6 +85,7 @@ def iter_experiments(
     yield "ablation:precision", lambda: run_ablation_precision(**kwargs)
     yield "ablation:transform_location", (
         lambda: run_ablation_transform_location(**kwargs))
+    yield "ablation:fusion", lambda: run_ablation_fusion(**kwargs)
 
 
 def run_suite(

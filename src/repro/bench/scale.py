@@ -55,6 +55,11 @@ class ScaleProfile:
     # Ablations.
     ablation_sizes: tuple[int, ...] = (4096, 8192, 16384, 32768)
     ablation_distincts: tuple[int, ...] = (32, 256, 1024, 4096, 16384)
+    # Fusion ablation: SSB generator rows and host-timing repeats for the
+    # fusion=on vs fusion=off series (REAL mode; large enough that the
+    # per-aggregate redundancy dominates the fixed query overhead).
+    fusion_rows: int = 20_000
+    fusion_reps: int = 3
 
     def to_dict(self) -> dict:
         out = {}
@@ -93,6 +98,8 @@ SMOKE = ScaleProfile(
     ablation_sizes=(1024, 2048),
     # extremes must sit clearly on either side of the density threshold
     ablation_distincts=(16, 16384),
+    fusion_rows=20_000,
+    fusion_reps=3,
 )
 
 #: Beyond-paper sweeps for the cost models (analytic-only).
@@ -114,6 +121,8 @@ STRESS = ScaleProfile(
     fig13_sizes=(8192, 16384, 32768, 65536),
     ablation_sizes=(16384, 65536),
     ablation_distincts=(64, 1024, 32768),
+    fusion_rows=60_000,
+    fusion_reps=3,
 )
 
 PROFILES: dict[str, ScaleProfile] = {

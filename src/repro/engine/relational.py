@@ -32,6 +32,10 @@ from repro.sql.logical import (
     Sort,
 )
 from repro.sql.planner import plan
+from repro.storage.statistics import (
+    bound_stats_lookup,
+    conjunction_selectivity,
+)
 from repro.storage.table import Table
 
 from repro.engine.base import Engine, ExecutionMode, QueryResult
@@ -180,8 +184,11 @@ class RelationalExecutor(Engine):
         ):
             breakdown.add(stage, seconds)
         if not source.materialized:
-            # Unmaterialized input: estimate half selectivity per conjunct.
-            n = int(source.n_rows * 0.5 ** len(node.predicates))
+            # Unmaterialized input: per-conjunct selectivities derived
+            # from column statistics (0.5 only beyond their reach).
+            n = int(source.n_rows * conjunction_selectivity(
+                node.predicates, bound_stats_lookup(bound)
+            ))
             return OpOutput(env=None, n_rows=n)
         mask = conjunction_mask(node.predicates, source.env, bound)
         env = source.env.filtered(mask)
@@ -270,8 +277,11 @@ class RelationalExecutor(Engine):
             ):
                 breakdown.add(stage, seconds)
             if node.having:
-                # Estimate half selectivity per HAVING conjunct.
-                n_groups = int(n_groups * 0.5 ** len(node.having))
+                # Aggregate comparisons price at the 0.5 default; plain
+                # column conjuncts use their statistics.
+                n_groups = int(n_groups * conjunction_selectivity(
+                    node.having, bound_stats_lookup(bound)
+                ))
             return OpOutput(env=None, n_rows=n_groups), None, names
         env = source.env
         context = build_group_context(bound, env, node.group_by)

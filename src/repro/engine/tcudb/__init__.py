@@ -23,17 +23,20 @@ from repro.engine.tcudb.cost import (
 )
 from repro.engine.tcudb.driver import (
     CompositeKey,
+    OperandStructure,
     PreparedAggSide,
     PreparedJoin,
     TCUDriver,
+    build_coo_operands,
 )
 from repro.engine.tcudb.engine import TCUDBEngine, TCUDBOptions
+from repro.engine.tcudb.fuse import fuse_program
 from repro.engine.tcudb.feasibility import (
     FeasibilityReport,
     run_feasibility_test,
 )
 from repro.engine.tcudb.lower import LoweredQuery, lower_hybrid, lower_query
-from repro.engine.tcudb.ops import FallbackRequired
+from repro.engine.tcudb.ops import BatchedGemm, FallbackRequired
 from repro.engine.tcudb.program import (
     OperatorCost,
     ProgramContext,
@@ -62,6 +65,7 @@ from repro.engine.tcudb.transform import (
 
 __all__ = [
     "AggregateSpec",
+    "BatchedGemm",
     "CompositeKey",
     "FallbackRequired",
     "FeasibilityReport",
@@ -70,6 +74,7 @@ __all__ = [
     "LoweredQuery",
     "MatchFailure",
     "OpEmission",
+    "OperandStructure",
     "OperatorCost",
     "OperatorGeometry",
     "OptimizerDecision",
@@ -88,6 +93,7 @@ __all__ = [
     "TensorProgram",
     "TransformCost",
     "best_transform_cost",
+    "build_coo_operands",
     "comparison_matrix",
     "cpu_transform_cost",
     "emit_tensor_program",
@@ -96,6 +102,7 @@ __all__ = [
     "estimate_dense",
     "estimate_gpu_baseline",
     "estimate_sparse",
+    "fuse_program",
     "generate_program",
     "gpu_transform_cost",
     "grouped_matrix",

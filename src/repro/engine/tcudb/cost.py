@@ -55,6 +55,15 @@ class OperatorGeometry:
     # accumulation — atomic conflicts make each record ~4x costlier to
     # place than an indicator fill.
     fill_scale: float = 1.0
+    # How many times the operand matrices are rebuilt from the base
+    # tuples.  The fused BatchedGemm builds the indicator structure once
+    # (1) and stacks per-aggregate values; the unfused per-aggregate
+    # loop rebuilds both operands for every grid (n_matmuls).
+    fill_passes: int = 1
+
+    def fill_tuples(self) -> int:
+        """Qualifying-record placements the transformation must perform."""
+        return int(self.n_tuples * self.fill_scale * self.fill_passes)
 
     @property
     def density_left(self) -> float:
@@ -123,7 +132,7 @@ def estimate_dense(
         geo.raw_bytes + geo.working_set_bytes(precision)
     )
     transform = best_transform_cost(
-        host, device, int(geo.n_tuples * geo.fill_scale), geo.raw_bytes,
+        host, device, geo.fill_tuples(), geo.raw_bytes,
         matrix_bytes, gpu_feasible,
     )
     compute = (
@@ -155,7 +164,7 @@ def estimate_blocked(
 
     matrix_bytes = geo.matrix_bytes(precision)
     transform = cpu_transform_cost(
-        host, device, int(geo.n_tuples * geo.fill_scale), 0.0
+        host, device, geo.fill_tuples(), 0.0
     )
     # Matrix traffic is part of the pipelined GEMM below, so the CPU
     # transform here charges only the host-side fill.
@@ -201,7 +210,7 @@ def estimate_sparse(
         geo.raw_bytes + csr_bytes * 3
     )
     transform = best_transform_cost(
-        host, device, int(geo.n_tuples * geo.fill_scale), geo.raw_bytes,
+        host, device, geo.fill_tuples(), geo.raw_bytes,
         csr_bytes, gpu_feasible,
     )
     build = device.cuda.gather_seconds(geo.nnz_left + geo.nnz_right)
@@ -222,9 +231,14 @@ def estimate_sparse(
 
 
 def estimate_mask_apply(device: GPUDevice, rows: int,
-                        n_predicates: int) -> float:
-    """CUDA-core cost of a ``MaskApply`` operator: one gather-rate pass
-    over the masked intermediate per predicate."""
+                        n_predicates: int, fused: bool = False) -> float:
+    """CUDA-core cost of a ``MaskApply``: one gather-rate pass over the
+    masked intermediate per predicate.  A fused epilogue (the mask
+    evaluated inside the GEMM result hook instead of a separate grid
+    pass) charges a single pass regardless of the conjunct count — the
+    predicates ride the extraction kernel's existing traversal."""
+    if fused:
+        return device.cuda.gather_seconds(max(rows, 1))
     return device.cuda.gather_seconds(max(rows, 1) * max(n_predicates, 1))
 
 

@@ -29,7 +29,7 @@ from repro.engine.base import ExecutionMode
 from repro.engine.relational import equi_join_indices, nonequi_join_indices
 from repro.engine.tcudb.cost import PlanCost, Strategy
 from repro.hardware.gpu import GPUDevice
-from repro.tensor.coo import COOMatrix
+from repro.tensor.coo import COOMatrix, dense_from_coo
 from repro.tensor.matmul import msplit_gemm
 from repro.tensor.tiled import TiledMatrix
 
@@ -119,10 +119,75 @@ class OperatorRun:
     meta: dict = field(default_factory=dict)
 
 
-def _dense_from_coo(rows, cols, vals, shape) -> np.ndarray:
-    dense = np.zeros(shape, dtype=np.float64)
-    np.add.at(dense, (rows, cols), vals)
-    return dense
+@dataclass(frozen=True)
+class OperandStructure:
+    """Shared indicator structure of one operand matrix, built once.
+
+    The (row, column) coordinate pattern of a grouped operand matrix is
+    the same for every aggregate of a product — only the fill values
+    differ.  This structure canonicalizes the coordinates a single time
+    (one ``np.unique`` over the linearized cells) so per-aggregate
+    operand builds, nnz accounting and exact cell-range feasibility all
+    reduce to one ``np.bincount`` over the shared ``inverse`` array.
+    """
+
+    g: int
+    k: int
+    cells: np.ndarray  # sorted distinct linearized cells (row * k + col)
+    inverse: np.ndarray  # input tuple -> index into ``cells``
+
+    @property
+    def nnz(self) -> int:
+        return int(self.cells.size)
+
+    @property
+    def rows(self) -> np.ndarray:
+        return self.cells // self.k
+
+    @property
+    def cols(self) -> np.ndarray:
+        return self.cells % self.k
+
+    def cell_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-cell sums of one fill-value array (duplicates summed)."""
+        return np.bincount(
+            self.inverse, weights=np.asarray(values, dtype=np.float64),
+            minlength=self.nnz,
+        )
+
+    def coo(self, values: np.ndarray) -> COOMatrix:
+        """Direct-sparse operand: COO built straight from the key/code
+        arrays — the dense intermediate is never materialized."""
+        sums = self.cell_sums(values)
+        keep = sums != 0.0
+        return COOMatrix(
+            rows=self.rows[keep], cols=self.cols[keep], vals=sums[keep],
+            shape=(self.g, self.k),
+        )
+
+    def dense(self, values: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.g * self.k, dtype=np.float64)
+        out[self.cells] = self.cell_sums(values)
+        return out.reshape(self.g, self.k)
+
+    def dense_stack(self, values_list: list[np.ndarray]) -> np.ndarray:
+        """(n_agg, g, k) stacked operand: shared coordinates, one slice of
+        fill values per aggregate."""
+        stack = np.zeros((len(values_list), self.g * self.k),
+                         dtype=np.float64)
+        for i, values in enumerate(values_list):
+            stack[i, self.cells] = self.cell_sums(values)
+        return stack.reshape(len(values_list), self.g, self.k)
+
+
+def build_coo_operands(side: "PreparedAggSide", k: int) -> OperandStructure:
+    """Canonicalize one agg side's operand coordinates (rows/codes shared
+    across every aggregate of the product)."""
+    cells = side.row_codes() * k + np.asarray(side.keys_mapped,
+                                              dtype=np.int64)
+    unique_cells, inverse = np.unique(cells, return_inverse=True)
+    return OperandStructure(g=side.g, k=k, cells=unique_cells,
+                            inverse=inverse)
 
 
 class TCUDriver:
@@ -159,10 +224,34 @@ class TCUDriver:
             and m * prepared.k <= NUMERIC_CELL_LIMIT
         )
 
-    def use_numeric_grid(self, g1: int, g2: int, k: int) -> bool:
+    def use_numeric_grid(self, g1: int, g2: int, k: int,
+                         nnz_left: int | None = None,
+                         nnz_right: int | None = None,
+                         sparse: bool = False) -> bool:
+        """True when the aggregate grids can run bit-accurate numerics.
+
+        Dense plans must materialize both (g, k) operand matrices, so the
+        dense cell counts gate.  Sparse plans with direct-COO operands
+        (``sparse=True`` plus known nnz) never build the dense operands —
+        what bounds them is the tiled representation: at worst one 16x16
+        tile per stored entry (or per grid slot, whichever is smaller),
+        kept under the same cell budget as the dense gate.  That keeps
+        large-but-sparse products on the bit-accurate numeric path
+        without letting a scattered operand blow up tile memory.
+        """
+        if g1 * g2 > NUMERIC_CELL_LIMIT:
+            return False
+        if sparse and nnz_left is not None and nnz_right is not None:
+            from repro.tensor.tiled import TILE
+
+            k_slots = -(-k // TILE)
+            worst_tiles = (
+                min(nnz_left, -(-g1 // TILE) * k_slots)
+                + min(nnz_right, -(-g2 // TILE) * k_slots)
+            )
+            return worst_tiles * TILE * TILE <= NUMERIC_CELL_LIMIT
         return (
-            g1 * g2 <= NUMERIC_CELL_LIMIT
-            and g1 * k <= NUMERIC_CELL_LIMIT
+            g1 * k <= NUMERIC_CELL_LIMIT
             and g2 * k <= NUMERIC_CELL_LIMIT
         )
 
@@ -200,15 +289,15 @@ class TCUDriver:
         m = prepared.right_keys_mapped.size
         k = prepared.k
         if prepared.op == "=":
-            left = _dense_from_coo(
+            left = dense_from_coo(
                 np.arange(n), prepared.left_keys_mapped, np.ones(n), (n, k)
             )
         else:
             side = comparison_matrix(
                 prepared.left_keys_mapped, prepared.domain_values, prepared.op
             )
-            left = _dense_from_coo(side.rows, side.cols, side.vals, (n, k))
-        right = _dense_from_coo(
+            left = dense_from_coo(side.rows, side.cols, side.vals, (n, k))
+        right = dense_from_coo(
             np.arange(m), prepared.right_keys_mapped, np.ones(m), (m, k)
         )
         return left, right
@@ -231,14 +320,13 @@ class TCUDriver:
         return nonequi_join_indices(left_values, right_values, prepared.op)
 
     def _join_count(self, prepared: PreparedJoin) -> int:
-        from repro.engine.relational import (
-            equi_join_count,
-            nonequi_join_count,
-        )
+        from repro.engine.relational import nonequi_join_count
+        from repro.engine.tcudb.transform import mapped_pair_count
 
         if prepared.op == "=":
-            return equi_join_count(
-                prepared.left_keys_mapped, prepared.right_keys_mapped
+            return mapped_pair_count(
+                prepared.left_keys_mapped, prepared.right_keys_mapped,
+                prepared.k,
             )
         left_values = prepared.domain_values[prepared.left_keys_mapped]
         right_values = prepared.domain_values[prepared.right_keys_mapped]
@@ -250,6 +338,9 @@ class TCUDriver:
 
     def _grids_by_matmul(self, left: PreparedAggSide, right: PreparedAggSide,
                          k: int, aggregates, plan: PlanCost):
+        """Unfused per-aggregate grid execution: each grid rebuilds both
+        operand matrices from scratch (the redundancy the fusion pass's
+        ``BatchedGemm`` eliminates)."""
         count_grid = self._one_grid(
             left, right, k, left.count_values, right.count_values, plan,
         )
@@ -267,26 +358,107 @@ class TCUDriver:
         return grids, count_grid
 
     def _one_grid(self, left, right, k, left_values, right_values, plan):
-        mat_a = _dense_from_coo(
+        # Indicator products stay exact at any TCU precision; value
+        # products run at the plan's precision.  Sparse plans build the
+        # operands straight in COO (no dense intermediate).
+        if plan.strategy == Strategy.SPARSE:
+            mat_a = build_coo_operands(left, k).coo(left_values)
+            mat_b = build_coo_operands(right, k).coo(right_values)
+            return self._execute_gemm(mat_a, mat_b.transpose(), plan)
+        mat_a = dense_from_coo(
             left.row_codes(), left.keys_mapped, left_values, (left.g, k)
         )
-        mat_b = _dense_from_coo(
+        mat_b = dense_from_coo(
             right.row_codes(), right.keys_mapped, right_values, (right.g, k)
         )
-        # Indicator products stay exact at any TCU precision; value
-        # products run at the plan's precision.
         return self._execute_gemm(mat_a, mat_b.T, plan)
 
-    def _execute_gemm(self, a: np.ndarray, b: np.ndarray,
-                      plan: PlanCost) -> np.ndarray:
+    def _grids_batched(self, left: PreparedAggSide, right: PreparedAggSide,
+                       k: int, aggregates, plan: PlanCost,
+                       left_structure: OperandStructure | None = None,
+                       right_structure: OperandStructure | None = None):
+        """Fused multi-aggregate grid execution (``BatchedGemm``).
+
+        Builds each side's indicator structure once, stacks the
+        per-aggregate fill values into an (n_agg, g, k) operand and
+        issues a single stacked matmul, instead of the per-aggregate
+        rebuild-everything loop of :meth:`_grids_by_matmul`.
+        """
+        if left_structure is None:
+            left_structure = build_coo_operands(left, k)
+        if right_structure is None:
+            right_structure = build_coo_operands(right, k)
+        value_index: list[int | None] = [None]  # slice 0 = COUNT grid
+        left_values = [left.count_values]
+        right_values = [right.count_values]
+        for i, spec in enumerate(aggregates):
+            if spec.func == "count":
+                continue
+            value_index.append(i)
+            left_values.append(left.values_per_agg[i])
+            right_values.append(right.values_per_agg[i])
+        if plan.strategy == Strategy.SPARSE:
+            # Shared structure + per-aggregate direct-COO tile builds.
+            stacked = [
+                self._execute_gemm(
+                    left_structure.coo(lv),
+                    right_structure.coo(rv).transpose(), plan,
+                )
+                for lv, rv in zip(left_values, right_values)
+            ]
+            stacked = np.stack(stacked)
+        else:
+            a_stack = left_structure.dense_stack(left_values)
+            b_stack = right_structure.dense_stack(right_values)
+            if plan.strategy == Strategy.BLOCKED:
+                stacked = np.stack([
+                    np.asarray(
+                        msplit_gemm(self.device, a, b.T, plan.precision)[0],
+                        dtype=np.float64,
+                    )
+                    for a, b in zip(a_stack, b_stack)
+                ])
+            else:
+                stacked = np.asarray(
+                    self.device.tcu.matmul(
+                        a_stack, b_stack.transpose(0, 2, 1), plan.precision
+                    ),
+                    dtype=np.float64,
+                )
+        count_grid = stacked[0]
+        by_index = {
+            index: stacked[slot]
+            for slot, index in enumerate(value_index)
+            if index is not None
+        }
+        grids = [
+            count_grid if spec.func == "count" else by_index[i]
+            for i, spec in enumerate(aggregates)
+        ]
+        return grids, count_grid
+
+    def _execute_gemm(self, a, b, plan: PlanCost) -> np.ndarray:
+        """Strategy-dispatched GEMM.  ``a``/``b`` may be dense arrays or
+        :class:`~repro.tensor.coo.COOMatrix` operands — sparse plans
+        consume the COO directly (no dense round-trip), dense plans
+        densify it."""
+        if plan.strategy == Strategy.SPARSE:
+            coo_a = a if isinstance(a, COOMatrix) else COOMatrix.from_dense(a)
+            coo_b = b if isinstance(b, COOMatrix) else COOMatrix.from_dense(b)
+            # Both operands carry unique coordinates (nonzero extraction
+            # and the operand builder are both duplicate-free), so the
+            # canonicalizing sort in from_coo is skipped.
+            tiled_a = TiledMatrix.from_coo(coo_a, assume_canonical=True)
+            tiled_b = TiledMatrix.from_coo(coo_b, assume_canonical=True)
+            result, _ = tiled_a.spmm(tiled_b)
+            return result.to_dense()[: coo_a.shape[0], : coo_b.shape[1]]
+        if isinstance(a, COOMatrix):
+            a = a.to_dense()
+        if isinstance(b, COOMatrix):
+            b = b.to_dense()
         if plan.strategy == Strategy.BLOCKED:
             result, _ = msplit_gemm(self.device, a, b, plan.precision)
             return np.asarray(result, dtype=np.float64)
-        if plan.strategy == Strategy.SPARSE:
-            tiled_a = TiledMatrix.from_coo(COOMatrix.from_dense(a))
-            tiled_b = TiledMatrix.from_coo(COOMatrix.from_dense(b))
-            result, _ = tiled_a.spmm(tiled_b)
-            return result.to_dense()[: a.shape[0], : b.shape[1]]
         return np.asarray(
             self.device.tcu.matmul(a, b, plan.precision), dtype=np.float64
         )

@@ -56,6 +56,10 @@ class TCUDBOptions:
     require_exact: bool = False  # reject plans with fp16 rounding
     disable_fallback: bool = False  # raise instead of falling back
     force_cpu_transform: bool = False
+    # The TensorProgram fusion pass (repro.engine.tcudb.fuse): on by
+    # default; ``fusion=False`` executes the unfused per-aggregate
+    # operator DAG (bench ablation / debugging).
+    fusion: bool = True
 
 
 class TCUDBEngine(Engine):
@@ -88,7 +92,7 @@ class TCUDBEngine(Engine):
     # ------------------------------------------------------------------ #
 
     def execute_bound(self, bound: BoundQuery) -> QueryResult:
-        lowered = lower_query(bound, self.mode)
+        lowered = lower_query(bound, self.mode, fusion=self.options.fusion)
         if isinstance(lowered, MatchFailure):
             return self._fall_back(bound, lowered.reason, lowered.kind)
         ctx = self._context(bound)
@@ -99,7 +103,8 @@ class TCUDBEngine(Engine):
                 # The pattern program discovered a data-dependent shape
                 # problem (e.g. duplicate-key dimensions) at run time;
                 # retry through the hybrid pipeline before giving up.
-                hybrid = lower_hybrid(bound, self.mode)
+                hybrid = lower_hybrid(bound, self.mode,
+                                      fusion=self.options.fusion)
                 if isinstance(hybrid, LoweredQuery):
                     ctx = self._context(bound)
                     try:
@@ -173,6 +178,7 @@ class TCUDBEngine(Engine):
             "strategy": strategy,
             "precision": precision,
             "executed_by": "TCU-hybrid" if lowered.hybrid else "TCU",
+            "fusion": self.options.fusion,
             "program": program,
             "program_listing": program.describe(),
             "operator_costs": ctx.op_costs,

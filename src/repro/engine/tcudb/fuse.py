@@ -1,0 +1,157 @@
+"""Fusion pass: an optimizing rewrite over the TensorProgram DAG.
+
+Runs between lowering and execution, taking a
+:class:`~repro.engine.tcudb.program.TensorProgram` and returning a
+semantically equivalent but cheaper one.  Both TQP ("Query Processing on
+Tensor Computation Runtimes", He et al.) and the TCU-reduction line of
+work show that tensor-runtime engines win by batching many small tensor
+ops into few large ones — the rewrites below do exactly that, and every
+rewrite is recorded in the program listing (``fused_from=[...]``) and
+the program notes so executed programs stay inspectable.
+
+Rewrite rules, applied in order:
+
+``batched-gemm``
+    A ``Gemm`` consuming a ``ValueFill`` whose product needs two or more
+    grids (the per-aggregate fan-out of a JOIN_AGG or grouped reduce) is
+    rewritten to a :class:`~repro.engine.tcudb.ops.BatchedGemm`: the
+    ``ValueFill`` builds each side's indicator structure once (rows and
+    group codes shared, per-aggregate values stacked into an
+    ``(n_agg, g, k)`` operand) and the driver issues a single stacked
+    matmul.  The cost model charges one operand fill plus ``n_agg`` MMA
+    passes instead of ``n_agg`` full operand rebuilds.
+
+``having-epilogue``
+    ``Gemm → GridAggregate → MaskApply[having]`` collapses the mask into
+    the grid harvest: the HAVING conjuncts are evaluated inside the GEMM
+    result hook (a masked nonzero extraction) instead of a separate pass
+    over the harvested groups.
+
+``residual-epilogue``
+    ``Gemm → NonzeroExtract → MaskApply[residual-pairs]`` collapses the
+    residual mask into the pair extraction the same way.
+
+Fusion never rewrites semantics: every rule preserves the operator's
+payload contract, and the fused-vs-unfused equivalence is property-tested
+over the fuzz corpus (``tests/test_fusion.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.engine.tcudb import ops
+from repro.engine.tcudb.program import TensorProgram
+
+
+def _grid_count(fill: ops.ValueFill) -> int:
+    """Grids the product must produce: the COUNT/indicator grid plus one
+    value grid per non-COUNT aggregate."""
+    value_specs = sum(1 for spec in fill.specs if spec.func != "count")
+    return value_specs + 1
+
+
+def fuse_program(program: TensorProgram) -> TensorProgram:
+    """Apply the rewrite rules; returns a new, equivalent program.
+
+    The input program is not mutated — unfused execution (``fusion=off``)
+    can run the original side by side for ablation.
+    """
+    by_id = {op.id: op for op in program.ops}
+    rewritten: dict[str, ops.TensorOp] = {}
+    dropped: dict[str, str] = {}  # fused MaskApply id -> its new host op
+    notes: list[str] = []
+
+    # -- rule: batched-gemm ------------------------------------------------ #
+    for op in program.ops:
+        if type(op) is not ops.Gemm:
+            continue
+        producer = by_id.get(op.input)
+        if not isinstance(producer, ops.ValueFill):
+            continue
+        n_grids = _grid_count(producer)
+        if n_grids < 2:
+            continue
+        fused_from = [f"{op.id}[count]"] + [
+            f"{op.id}[{spec.func}#{i}]"
+            for i, spec in enumerate(producer.specs) if spec.func != "count"
+        ]
+        shared_fill = replace(producer, shared=True)
+        # consumer_id is annotated outside the dataclass fields (codegen
+        # uses it to look up the consumer Gemm's plan); carry it over.
+        if hasattr(producer, "consumer_id"):
+            shared_fill.consumer_id = producer.consumer_id
+        rewritten[producer.id] = shared_fill
+        rewritten[op.id] = ops.BatchedGemm(
+            id=op.id, input=op.input, label=op.label,
+            n_grids=n_grids, fused_from=fused_from,
+        )
+        notes.append(
+            f"fusion: batched-gemm collapsed {n_grids} per-aggregate "
+            f"products of {op.id} into one stacked GEMM"
+        )
+
+    # -- rules: masked epilogues ------------------------------------------- #
+    for op in program.ops:
+        if not isinstance(op, ops.MaskApply):
+            continue
+        host = by_id.get(op.input)
+        if op.role == "having" and isinstance(host, ops.GridAggregate):
+            base = rewritten.get(host.id, host)
+            rewritten[host.id] = replace(
+                base,
+                epilogue_predicates=list(op.predicates),
+                epilogue_nodes=dict(op.having_nodes),
+                fused_from=list(base.fused_from) + [op.id],
+            )
+            dropped[op.id] = host.id
+            notes.append(
+                f"fusion: having-epilogue folded {op.id} into {host.id}'s "
+                "result hook"
+            )
+        elif (op.role == "residual-pairs"
+                and isinstance(host, ops.NonzeroExtract)):
+            base = rewritten.get(host.id, host)
+            rewritten[host.id] = replace(
+                base,
+                epilogue_predicates=list(op.predicates),
+                fused_from=list(base.fused_from) + [op.id],
+            )
+            dropped[op.id] = host.id
+            notes.append(
+                f"fusion: residual-epilogue folded {op.id} into "
+                f"{host.id}'s extraction kernel"
+            )
+
+    if not rewritten and not dropped:
+        return program
+
+    # -- reassemble: drop fused masks, rewire their consumers ------------- #
+    new_ops: list[ops.TensorOp] = []
+    for op in program.ops:
+        if op.id in dropped:
+            continue
+        op = rewritten.get(op.id, op)
+        new_ops.append(_rewire(op, dropped))
+    return TensorProgram(
+        ops=new_ops,
+        strategy=program.strategy,
+        hybrid=program.hybrid,
+        notes=list(program.notes) + notes,
+    )
+
+
+def _rewire(op: ops.TensorOp, dropped: dict[str, str]) -> ops.TensorOp:
+    """Point consumers of a fused-away MaskApply at its host operator."""
+    if not dropped:
+        return op
+    updates = {}
+    for attr in ("input", "left_input", "right_input", "chain_input",
+                 "fact_input", "dim_input"):
+        value = getattr(op, attr, None)
+        if isinstance(value, str) and value in dropped:
+            updates[attr] = dropped[value]
+    return replace(op, **updates) if updates else op
+
+
+__all__ = ["fuse_program"]

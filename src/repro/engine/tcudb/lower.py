@@ -69,18 +69,23 @@ class LoweredQuery:
 
 
 def lower_query(
-    bound: BoundQuery, mode: ExecutionMode
+    bound: BoundQuery, mode: ExecutionMode, fusion: bool = True
 ) -> LoweredQuery | MatchFailure:
-    """Lower a bound query, preferring the full pattern pipeline."""
+    """Lower a bound query, preferring the full pattern pipeline.
+
+    ``fusion`` runs the optimizing rewrite pass
+    (:mod:`repro.engine.tcudb.fuse`) over the lowered program — on by
+    default; ``fusion=False`` is the ablation/debug switch.
+    """
     pattern = match_pattern(bound)
     if isinstance(pattern, TCUPattern):
         lowered = _lower_pattern(bound, pattern)
         if isinstance(lowered, LoweredQuery):
-            return lowered
+            return _maybe_fuse(lowered, fusion)
         pattern_failure = lowered
     else:
         pattern_failure = pattern
-    hybrid = lower_hybrid(bound, mode)
+    hybrid = lower_hybrid(bound, mode, fusion=fusion)
     if isinstance(hybrid, LoweredQuery):
         return hybrid
     if hybrid.kind == "mode":
@@ -90,6 +95,18 @@ def lower_query(
     # Report the primary (pattern) rejection: it names the construct
     # beyond matmul expressiveness.
     return pattern_failure
+
+
+def _maybe_fuse(lowered: LoweredQuery, fusion: bool) -> LoweredQuery:
+    if not fusion:
+        return lowered
+    from repro.engine.tcudb.fuse import fuse_program
+
+    return LoweredQuery(
+        program=fuse_program(lowered.program),
+        pattern=lowered.pattern,
+        hybrid=lowered.hybrid,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -346,7 +363,7 @@ def _dim_needed_columns(pattern: TCUPattern, dim: str) -> list[str]:
 
 
 def lower_hybrid(
-    bound: BoundQuery, mode: ExecutionMode
+    bound: BoundQuery, mode: ExecutionMode, fusion: bool = True
 ) -> LoweredQuery | MatchFailure:
     """Lower the aggregation core onto the TCU over a conventional
     pre-stage (Lemma 3.1 grouped reduce)."""
@@ -444,11 +461,15 @@ def lower_hybrid(
         ops.Decode(id="decode", input=node_id, role="aggregate",
                    outputs=outputs)
     )
-    return LoweredQuery(
-        program=TensorProgram(
-            ops=program_ops, strategy="hybrid:grouped_reduce", hybrid=True,
+    return _maybe_fuse(
+        LoweredQuery(
+            program=TensorProgram(
+                ops=program_ops, strategy="hybrid:grouped_reduce",
+                hybrid=True,
+            ),
+            hybrid=True,
         ),
-        hybrid=True,
+        fusion,
     )
 
 

@@ -34,7 +34,7 @@ typed edges of the DAG.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -46,14 +46,21 @@ from repro.engine.relational import equi_join_count
 from repro.engine.tcudb.codegen import OpEmission
 from repro.engine.tcudb.cost import (
     OperatorGeometry,
+    Strategy,
     estimate_fold_step,
     estimate_mask_apply,
     estimate_physical_stage,
 )
 from repro.engine.tcudb.driver import (
     CompositeKey,
+    OperandStructure,
     PreparedAggSide,
     PreparedJoin,
+    build_coo_operands,
+)
+from repro.storage.statistics import (
+    bound_stats_lookup,
+    conjunction_selectivity,
 )
 from repro.engine.tcudb.feasibility import (
     INDICATOR_RANGE,
@@ -70,7 +77,7 @@ from repro.engine.tcudb.patterns import (
     OutputOp,
     TCUPattern,
 )
-from repro.engine.tcudb.transform import union_key_domain
+from repro.engine.tcudb.transform import mapped_pair_count, union_key_domain
 from repro.sql.ast_nodes import Expr, Predicate
 from repro.sql.binder import BoundColumn, JoinPredicate
 from repro.sql.eval import (
@@ -194,7 +201,12 @@ class JoinOperandsValue:
 
 @dataclass
 class AggOperandsValue:
-    """Operand matrices of one join+aggregate (or grouped-reduce) product."""
+    """Operand matrices of one join+aggregate (or grouped-reduce) product.
+
+    When built by a shared-structure ``ValueFill`` (fusion on), the
+    canonicalized COO coordinate structures ride along so the consuming
+    ``BatchedGemm`` never rebuilds them.
+    """
 
     left: PreparedAggSide | None
     right: PreparedAggSide | None
@@ -205,6 +217,8 @@ class AggOperandsValue:
     specs: list[AggregateSpec]
     grouped: bool
     empty: bool = False
+    left_structure: OperandStructure | None = None
+    right_structure: OperandStructure | None = None
 
 
 @dataclass
@@ -481,7 +495,7 @@ class IndicatorBuild(TensorOp):
             )
         else:
             nnz_left = n
-            pairs = equi_join_count(domain.left, domain.right)
+            pairs = mapped_pair_count(domain.left, domain.right, domain.k)
             raw_bytes = 8.0 * (n + m)
         geometry = OperatorGeometry(
             g1=n, g2=m, k=k, nnz_left=nnz_left, nnz_right=m,
@@ -535,6 +549,9 @@ class ValueFill(TensorOp):
     b_column: BoundColumn | None = None
     # reduce mode only: one argument expression (or None for COUNT) per spec
     arguments: list[Expr | None] = field(default_factory=list)
+    # Set by the fusion pass: build each side's indicator structure once
+    # (shared rows/codes) instead of per-aggregate.
+    shared: bool = False
 
     kind = "value_fill"
 
@@ -547,13 +564,17 @@ class ValueFill(TensorOp):
     def describe(self) -> str:
         funcs = ",".join(s.func for s in self.specs) or "-"
         keys = ",".join(c.key for c in self.group_by) or "<global>"
+        suffix = " [coo-shared]" if self.shared else ""
         return (f"{self.id}: ValueFill[{self.mode}](aggs={funcs}, "
-                f"group_by={keys})")
+                f"group_by={keys}){suffix}")
 
     def emission(self, ctx) -> OpEmission:
+        label = f"ValueFill[{self.mode}]"
+        if self.shared:
+            label += " (shared indicator structure)"
         return OpEmission(
             kind="value_fill",
-            label=f"ValueFill[{self.mode}]",
+            label=label,
             consumer_id=getattr(self, "consumer_id", None),
             transform=True,
         )
@@ -593,19 +614,26 @@ class ValueFill(TensorOp):
             side_bindings={self.b_side}, weights=np.ones(b_keys.size),
             b_side=True,
         )
-        pairs = equi_join_count(domain.left, domain.right)
+        pairs = mapped_pair_count(domain.left, domain.right, domain.k)
+        left_structure = right_structure = None
+        if self.shared:
+            left_structure = build_coo_operands(left_side, domain.k)
+            right_structure = build_coo_operands(right_side, domain.k)
         geometry = _agg_geometry(
             ctx, self.specs, left_side, right_side, domain.k, pairs,
             fact_binding, self.b_side,
+            left_structure=left_structure, right_structure=right_structure,
         )
         feasibility = _agg_feasibility(
             self.specs, left_side, right_side, domain.k,
             require_exact=ctx.options.require_exact,
+            left_structure=left_structure, right_structure=right_structure,
         )
         return AggOperandsValue(
             left=left_side, right=right_side, k=domain.k, geometry=geometry,
             feasibility=feasibility, pairs=pairs, specs=self.specs,
             grouped=grouped,
+            left_structure=left_structure, right_structure=right_structure,
         )
 
     # -- reduce (hybrid) mode ------------------------------------------ #
@@ -658,14 +686,20 @@ class ValueFill(TensorOp):
             needs_nonzero=True,
             fill_scale=4.0 if value_specs else 1.0,
         )
+        left_structure = right_structure = None
+        if self.shared:
+            left_structure = build_coo_operands(left_side, n)
+            right_structure = build_coo_operands(right_side, n)
         feasibility = _agg_feasibility(
             self.specs, left_side, right_side, n,
             require_exact=ctx.options.require_exact,
+            left_structure=left_structure, right_structure=right_structure,
         )
         return AggOperandsValue(
             left=left_side, right=right_side, k=n, geometry=geometry,
             feasibility=feasibility, pairs=n, specs=self.specs,
             grouped=grouped,
+            left_structure=left_structure, right_structure=right_structure,
         )
 
 
@@ -709,14 +743,28 @@ class Gemm(TensorOp):
             dims=dims, n_matmuls=n_matmuls,
         )
 
+    def priced_geometry(self, operands) -> OperatorGeometry:
+        """Geometry the optimizer prices and the plan charges.
+
+        The unfused per-aggregate loop rebuilds both operand matrices for
+        every grid, so multi-grid products charge one operand fill per
+        matmul; the fused ``BatchedGemm`` overrides this to a single
+        shared fill.
+        """
+        geometry = operands.geometry
+        if isinstance(operands, AggOperandsValue) and geometry.n_matmuls > 1:
+            return replace(geometry, fill_passes=geometry.n_matmuls)
+        return geometry
+
     def execute(self, ctx) -> ProductValue:
         operands = ctx.value(self.input)
         if isinstance(operands, AggOperandsValue) and operands.empty:
             return ProductValue(operands=operands, empty=True)
         grouped = (operands.grouped
                    if isinstance(operands, AggOperandsValue) else False)
+        geometry = self.priced_geometry(operands)
         decision = ctx.optimizer.decide(
-            operands.geometry, operands.feasibility, operands.pairs,
+            geometry, operands.feasibility, operands.pairs,
             grouped=grouped, op_label=f"{self.id} ({self.label})",
         )
         ctx.record_decision(self.id, decision)
@@ -743,16 +791,24 @@ class Gemm(TensorOp):
         product = ctx.driver._execute_gemm(left, right.T, plan)
         return ProductValue(operands=operands, dense=product)
 
+    def _run_grids(self, ctx, operands: AggOperandsValue, plan):
+        return ctx.driver._grids_by_matmul(
+            operands.left, operands.right, operands.k, operands.specs, plan
+        )
+
     def _execute_agg(self, ctx, operands: AggOperandsValue,
                      plan) -> ProductValue:
         left, right = operands.left, operands.right
         g1, g2, k = left.g, right.g, operands.k
         if ctx.mode != ExecutionMode.REAL:
             return ProductValue(operands=operands, semantic=True)
-        if ctx.driver.use_numeric_grid(g1, g2, k):
-            grids, count_grid = ctx.driver._grids_by_matmul(
-                left, right, k, operands.specs, plan
-            )
+        geometry = operands.geometry
+        if ctx.driver.use_numeric_grid(
+            g1, g2, k,
+            nnz_left=geometry.nnz_left, nnz_right=geometry.nnz_right,
+            sparse=plan.strategy == Strategy.SPARSE,
+        ):
+            grids, count_grid = self._run_grids(ctx, operands, plan)
         else:
             grids, count_grid = ctx.driver._grids_semantic(
                 left, right, operands.specs, g1, g2
@@ -762,10 +818,58 @@ class Gemm(TensorOp):
 
 
 @dataclass
+class BatchedGemm(Gemm):
+    """Fused multi-aggregate GEMM (fusion rewrite of a JOIN_AGG fan-out).
+
+    Builds each side's indicator structure once — rows and group codes
+    shared across every aggregate — stacks the per-aggregate fill values
+    into an (n_agg, g, k) operand and issues a single stacked matmul.
+    The cost model charges one operand fill plus ``n_agg`` MMA passes
+    instead of ``n_agg`` full operand rebuilds.
+    """
+
+    n_grids: int = 1
+    fused_from: list[str] = field(default_factory=list)
+
+    kind = "batched_gemm"
+
+    def describe(self) -> str:
+        base = (f"{self.id}: BatchedGemm({self.label}, "
+                f"grids={self.n_grids})")
+        if self.fused_from:
+            base += f" fused_from={self.fused_from}"
+        return base
+
+    def priced_geometry(self, operands) -> OperatorGeometry:
+        # One shared fill regardless of the grid count.
+        return operands.geometry
+
+    def emission(self, ctx) -> OpEmission:
+        emission = super().emission(ctx)
+        return replace(emission, kind="batched_gemm",
+                       label=f"{self.label} (batched x{self.n_grids})")
+
+    def _run_grids(self, ctx, operands: AggOperandsValue, plan):
+        return ctx.driver._grids_batched(
+            operands.left, operands.right, operands.k, operands.specs, plan,
+            left_structure=operands.left_structure,
+            right_structure=operands.right_structure,
+        )
+
+
+@dataclass
 class NonzeroExtract(TensorOp):
-    """nonzero() extraction of matching pairs; extends the join chain."""
+    """nonzero() extraction of matching pairs; extends the join chain.
+
+    A fused residual epilogue (``epilogue_predicates``, installed by the
+    fusion pass from a downstream ``MaskApply[residual-pairs]``) is
+    evaluated inside this result hook — the extracted pairs are masked in
+    the same pass instead of a separate grid traversal.
+    """
 
     input: str
+    epilogue_predicates: list[Predicate] = field(default_factory=list)
+    fused_from: list[str] = field(default_factory=list)
 
     kind = "nonzero"
 
@@ -773,14 +877,26 @@ class NonzeroExtract(TensorOp):
         return [self.input]
 
     def describe(self) -> str:
-        return f"{self.id}: NonzeroExtract()"
+        base = f"{self.id}: NonzeroExtract()"
+        if self.epilogue_predicates:
+            conds = " AND ".join(str(p) for p in self.epilogue_predicates)
+            base += f" epilogue({conds}) fused_from={self.fused_from}"
+        return base
 
     def emission(self, ctx) -> OpEmission:
-        return OpEmission(
-            kind="nonzero", label="NonzeroExtract",
-            lines=["  nonzero_kernel<<<grid, block>>>"
-                   "(d_Ct, d_pairs, &n_pairs);"],
-        )
+        lines = ["  nonzero_kernel<<<grid, block>>>"
+                 "(d_Ct, d_pairs, &n_pairs);"]
+        label = "NonzeroExtract"
+        if self.epilogue_predicates:
+            label = "NonzeroExtract+MaskEpilogue"
+            lines = [
+                "  // fused epilogue: residual predicate evaluated inside "
+                "the extraction kernel",
+                "  nonzero_masked_kernel<<<grid, block>>>"
+                f"(d_Ct, d_pairs, &n_pairs, epilogue_pred/*"
+                f"{len(self.epilogue_predicates)} conjunct(s)*/);",
+            ]
+        return OpEmission(kind="nonzero", label=label, lines=lines)
 
     def execute(self, ctx) -> ChainValue:
         product: ProductValue = ctx.value(self.input)
@@ -793,8 +909,14 @@ class NonzeroExtract(TensorOp):
                 operands.prepared
             )
         else:
-            # ANALYTIC: exact count, no materialization.
+            # ANALYTIC: exact count, no materialization (the epilogue
+            # contributes its estimated selectivity).
             count = ctx.driver._join_count(operands.prepared)
+            if self.epilogue_predicates:
+                self._charge_epilogue(ctx, count)
+                count = int(count * conjunction_selectivity(
+                    self.epilogue_predicates, bound_stats_lookup(ctx.bound)
+                ))
             return ChainValue(
                 envs={**chain.envs, operands.right_binding: operands.right_env},
                 indices={},
@@ -807,11 +929,29 @@ class NonzeroExtract(TensorOp):
             for binding, index in chain.indices.items()
         }
         indices[operands.right_binding] = np.asarray(right_idx)
-        return ChainValue(
+        extracted = ChainValue(
             envs={**chain.envs, operands.right_binding: operands.right_env},
             indices=indices,
             n_rows=int(np.asarray(left_idx).size),
             joined=chain.joined | {operands.right_binding},
+        )
+        if not self.epilogue_predicates:
+            return extracted
+        self._charge_epilogue(ctx, extracted.n_rows)
+        env = extracted.merged_environment()
+        mask = conjunction_mask(self.epilogue_predicates, env, ctx.bound)
+        return ChainValue(
+            envs=extracted.envs,
+            indices={b: idx[mask] for b, idx in extracted.indices.items()},
+            n_rows=int(np.count_nonzero(mask)),
+            joined=set(extracted.joined),
+        )
+
+    def _charge_epilogue(self, ctx, rows: int) -> None:
+        ctx.charge(
+            self, "tcu_mask_apply",
+            estimate_mask_apply(ctx.device, rows,
+                                len(self.epilogue_predicates), fused=True),
         )
 
 
@@ -821,10 +961,16 @@ class GridAggregate(TensorOp):
 
     Extracts present (group-left, group-right) cells via the COUNT grid,
     applies AVG division, and decodes the composite group codes back
-    into physical group-column values.
+    into physical group-column values.  A fused HAVING epilogue
+    (installed by the fusion pass from a downstream
+    ``MaskApply[having]``) evaluates the HAVING conjuncts inside this
+    result hook — masked groups never leave the extraction pass.
     """
 
     input: str
+    epilogue_predicates: list[Predicate] = field(default_factory=list)
+    epilogue_nodes: dict[Expr, OutputNode] = field(default_factory=dict)
+    fused_from: list[str] = field(default_factory=list)
 
     kind = "grid_aggregate"
 
@@ -832,20 +978,34 @@ class GridAggregate(TensorOp):
         return [self.input]
 
     def describe(self) -> str:
-        return f"{self.id}: GridAggregate()"
+        base = f"{self.id}: GridAggregate()"
+        if self.epilogue_predicates:
+            conds = " AND ".join(str(p) for p in self.epilogue_predicates)
+            base += f" epilogue({conds}) fused_from={self.fused_from}"
+        return base
 
     def emission(self, ctx) -> OpEmission:
-        return OpEmission(
-            kind="grid_aggregate", label="GridAggregate",
-            lines=[
-                "  nonzero_kernel<<<grid, block>>>"
-                "(d_count_grid, d_groups, &n_groups);",
-                "  avg_divide_kernel<<<grid, block>>>"
-                "(d_grids, d_count_grid, n_groups);",
-                "  decode_groups_kernel<<<grid, block>>>"
-                "(d_groups, d_group_labels);",
-            ],
-        )
+        label = "GridAggregate"
+        extract = ("  nonzero_kernel<<<grid, block>>>"
+                   "(d_count_grid, d_groups, &n_groups);")
+        if self.epilogue_predicates:
+            label = "GridAggregate+HavingEpilogue"
+            extract = (
+                "  nonzero_masked_kernel<<<grid, block>>>"
+                "(d_count_grid, d_groups, &n_groups, having_pred/*"
+                f"{len(self.epilogue_predicates)} conjunct(s)*/);"
+            )
+        lines = [extract]
+        if self.epilogue_predicates:
+            lines.insert(0, "  // fused epilogue: HAVING predicate "
+                            "evaluated inside the result hook")
+        lines.extend([
+            "  avg_divide_kernel<<<grid, block>>>"
+            "(d_grids, d_count_grid, n_groups);",
+            "  decode_groups_kernel<<<grid, block>>>"
+            "(d_groups, d_group_labels);",
+        ])
+        return OpEmission(kind="grid_aggregate", label=label, lines=lines)
 
     def execute(self, ctx) -> GroupsValue:
         product: ProductValue = ctx.value(self.input)
@@ -860,6 +1020,11 @@ class GridAggregate(TensorOp):
                 max(int(left.keys_mapped.size),
                     int(right.keys_mapped.size), 1),
             )
+            if self.epilogue_predicates:
+                self._charge_epilogue(ctx, estimate)
+                estimate = int(estimate * conjunction_selectivity(
+                    self.epilogue_predicates, bound_stats_lookup(ctx.bound)
+                ))
             return GroupsValue(agg_values=None, group_columns=None,
                                n_rows=estimate)
         grids, count_grid = product.grids, product.count_grid
@@ -880,9 +1045,27 @@ class GridAggregate(TensorOp):
             decoded = right.group.decode(cols)
             for column, values in zip(right.group_order, decoded):
                 group_columns[column] = values
-        return GroupsValue(agg_values=agg_values,
-                           group_columns=group_columns,
-                           n_rows=int(rows.size))
+        groups = GroupsValue(agg_values=agg_values,
+                             group_columns=group_columns,
+                             n_rows=int(rows.size))
+        if not self.epilogue_predicates:
+            return groups
+        self._charge_epilogue(ctx, groups.n_rows)
+        mask = having_mask(ctx, self.epilogue_predicates,
+                           self.epilogue_nodes, groups)
+        return GroupsValue(
+            agg_values=[np.asarray(a)[mask] for a in groups.agg_values],
+            group_columns={key: np.asarray(v)[mask]
+                           for key, v in groups.group_columns.items()},
+            n_rows=int(np.count_nonzero(mask)),
+        )
+
+    def _charge_epilogue(self, ctx, rows: int) -> None:
+        ctx.charge(
+            self, "tcu_mask_apply",
+            estimate_mask_apply(ctx.device, rows,
+                                len(self.epilogue_predicates), fused=True),
+        )
 
 
 @dataclass
@@ -952,9 +1135,11 @@ class MaskApply(TensorOp):
     def _mask_chain(self, ctx, chain: ChainValue) -> ChainValue:
         self._charge(ctx, chain.n_rows)
         if not chain.materialized:
-            # ANALYTIC estimate: half selectivity per conjunct (matches
-            # the baseline executor's unmaterialized Filter estimate).
-            n = int(chain.n_rows * 0.5 ** len(self.predicates))
+            # ANALYTIC estimate: per-conjunct selectivities derived from
+            # column statistics (0.5 only for conjuncts beyond them).
+            n = int(chain.n_rows * conjunction_selectivity(
+                self.predicates, bound_stats_lookup(ctx.bound)
+            ))
             return ChainValue(envs=chain.envs, indices={}, n_rows=n,
                               joined=set(chain.joined))
         env = chain.merged_environment()
@@ -969,31 +1154,40 @@ class MaskApply(TensorOp):
         if groups.empty:
             return groups
         if groups.agg_values is None:
-            n = int(groups.n_rows * 0.5 ** len(self.predicates))
+            n = int(groups.n_rows * conjunction_selectivity(
+                self.predicates, bound_stats_lookup(ctx.bound)
+            ))
             return GroupsValue(agg_values=None, group_columns=None, n_rows=n)
-        n = groups.n_rows
-
-        def eval_expr(expr: Expr) -> np.ndarray:
-            node = self.having_nodes.get(expr)
-            if node is None:
-                raise ExecutionError(
-                    f"HAVING expression {expr} was not lowered onto the grid"
-                )
-            return eval_output_node(node, groups.agg_values,
-                                    groups.group_columns, n)
-
-        mask = np.ones(n, dtype=bool)
-        for predicate in self.predicates:
-            mask &= predicate_mask(
-                predicate, n, eval_expr,
-                lambda ref, value: encode_literal(ctx.bound, ref, value),
-            )
+        mask = having_mask(ctx, self.predicates, self.having_nodes, groups)
         return GroupsValue(
             agg_values=[np.asarray(a)[mask] for a in groups.agg_values],
             group_columns={k: np.asarray(v)[mask]
                            for k, v in groups.group_columns.items()},
             n_rows=int(np.count_nonzero(mask)),
         )
+
+
+def having_mask(ctx, predicates, having_nodes, groups: GroupsValue):
+    """Boolean per-group mask of HAVING conjuncts compiled onto the grid
+    (shared by ``MaskApply[having]`` and the fused HAVING epilogue)."""
+    n = groups.n_rows
+
+    def eval_expr(expr: Expr) -> np.ndarray:
+        node = having_nodes.get(expr)
+        if node is None:
+            raise ExecutionError(
+                f"HAVING expression {expr} was not lowered onto the grid"
+            )
+        return eval_output_node(node, groups.agg_values,
+                                groups.group_columns, n)
+
+    mask = np.ones(n, dtype=bool)
+    for predicate in predicates:
+        mask &= predicate_mask(
+            predicate, n, eval_expr,
+            lambda ref, value: encode_literal(ctx.bound, ref, value),
+        )
+    return mask
 
 
 @dataclass
@@ -1199,13 +1393,19 @@ def _build_agg_side(specs, group_by, column_of, mapped_keys, side_bindings,
 
 
 def _agg_geometry(ctx, specs, left_side, right_side, k, pairs, fact,
-                  b_side) -> OperatorGeometry:
-    nnz_left = int(np.unique(
-        left_side.row_codes() * k + left_side.keys_mapped
-    ).size)
-    nnz_right = int(np.unique(
-        right_side.row_codes() * k + right_side.keys_mapped
-    ).size)
+                  b_side, left_structure=None,
+                  right_structure=None) -> OperatorGeometry:
+    if left_structure is not None and right_structure is not None:
+        # Shared structure already canonicalized the coordinates.
+        nnz_left = left_structure.nnz
+        nnz_right = right_structure.nnz
+    else:
+        nnz_left = int(np.unique(
+            left_side.row_codes() * k + left_side.keys_mapped
+        ).size)
+        nnz_right = int(np.unique(
+            right_side.row_codes() * k + right_side.keys_mapped
+        ).size)
     n = left_side.keys_mapped.size
     m = right_side.keys_mapped.size
     raw_bytes = 8.0 * (
@@ -1225,21 +1425,29 @@ def _agg_geometry(ctx, specs, left_side, right_side, k, pairs, fact,
     )
 
 
-def _agg_feasibility(specs, left_side, right_side, k, require_exact=False):
+def _agg_feasibility(specs, left_side, right_side, k, require_exact=False,
+                     left_structure=None, right_structure=None):
     """Exact data-range test over the prepared operand matrices.
 
     Both sides are fully materialized by the time the optimizer decides,
     so the test computes the exact per-cell sums each matrix will hold.
+    With shared operand structures (fusion on) every per-aggregate range
+    reduces to one bincount over the already-canonicalized coordinates
+    instead of re-deriving them per aggregate.
     """
-    worst_left = _exact_cell_range(left_side, k, left_side.count_values)
-    worst_right = _exact_cell_range(right_side, k, right_side.count_values)
+    worst_left = _exact_cell_range(left_side, k, left_side.count_values,
+                                   left_structure)
+    worst_right = _exact_cell_range(right_side, k, right_side.count_values,
+                                    right_structure)
     for i, spec in enumerate(specs):
         if spec.func == "count":
             continue
         left_range = _exact_cell_range(left_side, k,
-                                       left_side.values_per_agg[i])
+                                       left_side.values_per_agg[i],
+                                       left_structure)
         right_range = _exact_cell_range(right_side, k,
-                                        right_side.values_per_agg[i])
+                                        right_side.values_per_agg[i],
+                                        right_structure)
         if left_range is None or right_range is None:
             return run_feasibility_test(None, None, k)
         worst_left = _wider(worst_left, left_range)
@@ -1250,7 +1458,7 @@ def _agg_feasibility(specs, left_side, right_side, k, require_exact=False):
     )
 
 
-def _exact_cell_range(side, k, values):
+def _exact_cell_range(side, k, values, structure=None):
     """Exact [min, max] of one operand matrix's cell sums (0 included for
     empty cells); None when a value is non-finite (e.g. division by a
     zero-valued column)."""
@@ -1261,9 +1469,12 @@ def _exact_cell_range(side, k, values):
         return INDICATOR_RANGE
     if not np.all(np.isfinite(values)):
         return None
-    cells = side.row_codes() * k + side.keys_mapped
-    _, inverse = np.unique(cells, return_inverse=True)
-    sums = np.bincount(inverse, weights=values)
+    if structure is not None:
+        sums = structure.cell_sums(values)
+    else:
+        cells = side.row_codes() * k + side.keys_mapped
+        _, inverse = np.unique(cells, return_inverse=True)
+        sums = np.bincount(inverse, weights=values)
     # The fill values (not just the accumulated endpoints) decide
     # integrality: fractional fills quantize to garbage at int4/int8.
     integral = bool(np.all(values == np.rint(values)))
@@ -1311,6 +1522,7 @@ def eval_output_node(node: OutputNode, agg_values, group_columns,
 __all__ = [
     "CHAINED_JOIN_FILL_S",
     "AggOperandsValue",
+    "BatchedGemm",
     "ChainStart",
     "ChainValue",
     "Decode",
@@ -1332,4 +1544,5 @@ __all__ = [
     "TensorOp",
     "ValueFill",
     "eval_output_node",
+    "having_mask",
 ]

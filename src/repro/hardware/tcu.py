@@ -80,10 +80,19 @@ class TensorCoreUnit:
 
         Returns float64 for fp16 inputs (values carry fp16+fp32 rounding)
         and int64 for integer precisions (bit-exact while in range).
+        Stacked (batched) 3-D operands run as one broadcast product —
+        the fused ``BatchedGemm`` path — with per-slice fp16 scaling so
+        every slice rounds exactly as its standalone 2-D product would.
         """
         a = np.asarray(a)
         b = np.asarray(b)
-        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        batched = a.ndim == 3 and b.ndim == 3
+        if batched:
+            if a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+                raise ValueError(
+                    f"incompatible batched shapes {a.shape} @ {b.shape}"
+                )
+        elif a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
             raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
         if precision == Precision.FP16:
             return self._matmul_fp16(a, b)
@@ -91,12 +100,28 @@ class TensorCoreUnit:
             return self._matmul_int(a, b, precision)
         raise PrecisionError(f"TCUs cannot execute precision {precision}")
 
+    @staticmethod
+    def _fp16_scales(operand: np.ndarray) -> np.ndarray | float:
+        """Power-of-two pre-scale(s): scalar for a 2-D operand, one per
+        slice (broadcastable) for a stacked operand."""
+        if operand.ndim == 3:
+            magnitudes = (
+                np.abs(operand).max(axis=(1, 2)) if operand.size
+                else np.zeros(operand.shape[0])
+            )
+            return np.array(
+                [fp16_scale_factor(float(m)) for m in magnitudes]
+            ).reshape(-1, 1, 1)
+        return fp16_scale_factor(
+            float(np.max(np.abs(operand))) if operand.size else 0.0
+        )
+
     def _matmul_fp16(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         # Values beyond fp16's finite range are scaled down by a lossless
         # power of two first (the optimizer's range-handling strategy);
         # the product is scaled back afterwards.
-        scale_a = fp16_scale_factor(float(np.max(np.abs(a))) if a.size else 0.0)
-        scale_b = fp16_scale_factor(float(np.max(np.abs(b))) if b.size else 0.0)
+        scale_a = self._fp16_scales(a)
+        scale_b = self._fp16_scales(b)
         a16 = (a / scale_a).astype(np.float16)
         b16 = (b / scale_b).astype(np.float16)
         if a16.size and not np.all(np.isfinite(a16)):
@@ -105,7 +130,7 @@ class TensorCoreUnit:
             raise PrecisionError("operand B overflows fp16 even after scaling")
         # fp16 products are exact in fp32; accumulation rounds in fp32,
         # exactly as WMMA's fp32 accumulator does.
-        product = a16.astype(np.float32) @ b16.astype(np.float32)
+        product = np.matmul(a16.astype(np.float32), b16.astype(np.float32))
         return product.astype(np.float64) * (scale_a * scale_b)
 
     def _matmul_int(

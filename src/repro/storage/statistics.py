@@ -56,6 +56,138 @@ def compute_stats(column: Column) -> ColumnStats:
     )
 
 
+#: Selectivity assumed for predicates the statistics cannot price
+#: (aggregate comparisons, column-vs-column, arithmetic arguments) —
+#: the historical per-conjunct constant.
+DEFAULT_SELECTIVITY = 0.5
+
+#: Floor below which a conjunction estimate is not driven (one row may
+#: always survive; downstream estimators dislike hard zeros).
+MIN_SELECTIVITY = 1e-4
+
+
+def _literal_value(expr) -> float | None:
+    from repro.sql.ast_nodes import Literal
+
+    if isinstance(expr, Literal) and not isinstance(expr.value, str):
+        return float(expr.value)
+    return None
+
+
+def _range_fraction(stats: ColumnStats, op: str, value: float) -> float:
+    """Fraction of a column's [min, max] span satisfying ``col op value``
+    under the classic uniform-distribution assumption."""
+    lo, hi = stats.min_value, stats.max_value
+    if hi <= lo:
+        return 1.0 if _point_satisfies(lo, op, value) else 0.0
+    fraction_below = (value - lo) / (hi - lo)
+    if op in ("<", "<="):
+        s = fraction_below
+    else:  # >, >=
+        s = 1.0 - fraction_below
+    return float(min(max(s, 0.0), 1.0))
+
+
+def _point_satisfies(point: float, op: str, value: float) -> bool:
+    return {
+        "<": point < value, "<=": point <= value,
+        ">": point > value, ">=": point >= value,
+    }[op]
+
+
+def predicate_selectivity(predicate, stats_of) -> float:
+    """Estimated selectivity of one predicate from column statistics.
+
+    ``stats_of(expr)`` returns the :class:`ColumnStats` of a plain
+    column-reference expression, or ``None`` when the expression is not a
+    column (aggregates, arithmetic) — those conjuncts fall back to the
+    historical :data:`DEFAULT_SELECTIVITY`.  Handles the full predicate
+    algebra: comparisons, BETWEEN, IN lists, NOT, AND / OR trees.
+    """
+    from repro.sql.ast_nodes import (
+        Between,
+        Comparison,
+        Conjunction,
+        Disjunction,
+        InList,
+        Negation,
+    )
+
+    if isinstance(predicate, Comparison):
+        left_stats = stats_of(predicate.left)
+        right_stats = stats_of(predicate.right)
+        stats, literal = (
+            (left_stats, _literal_value(predicate.right))
+            if left_stats is not None
+            else (right_stats, _literal_value(predicate.left))
+        )
+        if stats is None:
+            return DEFAULT_SELECTIVITY
+        if predicate.op == "=":
+            return 1.0 / max(stats.n_distinct, 1)
+        if predicate.op in ("<>", "!="):
+            return 1.0 - 1.0 / max(stats.n_distinct, 1)
+        if literal is None:  # string / column-vs-column range comparison
+            return DEFAULT_SELECTIVITY
+        op = predicate.op
+        if left_stats is None:  # literal op column: mirror the operator
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+        return _range_fraction(stats, op, literal)
+    if isinstance(predicate, Between):
+        stats = stats_of(predicate.expr)
+        low = _literal_value(predicate.low)
+        high = _literal_value(predicate.high)
+        if stats is None or low is None or high is None:
+            return DEFAULT_SELECTIVITY
+        below = _range_fraction(stats, "<=", high)
+        above = _range_fraction(stats, ">=", low)
+        return float(min(max(below + above - 1.0, 0.0), 1.0))
+    if isinstance(predicate, InList):
+        stats = stats_of(predicate.expr)
+        if stats is None:
+            return DEFAULT_SELECTIVITY
+        return float(min(len(predicate.values) / max(stats.n_distinct, 1),
+                         1.0))
+    if isinstance(predicate, Negation):
+        return 1.0 - predicate_selectivity(predicate.inner, stats_of)
+    if isinstance(predicate, Conjunction):
+        s = 1.0
+        for part in predicate.parts:
+            s *= predicate_selectivity(part, stats_of)
+        return s
+    if isinstance(predicate, Disjunction):
+        miss = 1.0
+        for arm in predicate.arms:
+            miss *= 1.0 - predicate_selectivity(arm, stats_of)
+        return 1.0 - miss
+    return DEFAULT_SELECTIVITY
+
+
+def conjunction_selectivity(predicates, stats_of) -> float:
+    """Combined selectivity of a conjunct list (independence assumed),
+    floored at :data:`MIN_SELECTIVITY` so estimates never hard-zero."""
+    s = 1.0
+    for predicate in predicates:
+        s *= predicate_selectivity(predicate, stats_of)
+    return max(float(s), MIN_SELECTIVITY)
+
+
+def bound_stats_lookup(bound):
+    """A ``stats_of`` callback over a bound query: resolves plain column
+    references to their table statistics, ``None`` for anything else."""
+    from repro.sql.ast_nodes import ColumnRef
+
+    def stats_of(expr):
+        if not isinstance(expr, ColumnRef):
+            return None
+        try:
+            return bound.column_stats(bound.resolve(expr))
+        except Exception:
+            return None
+
+    return stats_of
+
+
 def join_output_estimate(
     left: ColumnStats, right: ColumnStats
 ) -> float:

@@ -42,8 +42,16 @@ class TiledMatrix:
     # -- constructors ----------------------------------------------------- #
 
     @staticmethod
-    def from_coo(coo: COOMatrix) -> "TiledMatrix":
-        coo = coo.sum_duplicates()
+    def from_coo(coo: COOMatrix, assume_canonical: bool = False) -> "TiledMatrix":
+        """Partition COO triples into non-empty 16x16 tiles.
+
+        ``assume_canonical`` skips the duplicate-summing sort when the
+        caller guarantees unique coordinates (the direct-COO operand
+        builder emits canonical triples, so the extra pass would be
+        wasted on the hot path).
+        """
+        if not assume_canonical:
+            coo = coo.sum_duplicates()
         n_rows, n_cols = coo.shape
         if coo.nnz == 0:
             return TiledMatrix(
@@ -58,11 +66,10 @@ class TiledMatrix:
         keys = block_r * blocks_per_row + block_c
         unique_keys, tile_index = np.unique(keys, return_inverse=True)
         tiles = np.zeros((unique_keys.size, TILE, TILE), dtype=np.float64)
-        np.add.at(
-            tiles,
-            (tile_index, coo.rows % TILE, coo.cols % TILE),
-            coo.vals,
-        )
+        # Coordinates are unique here (canonical input or post
+        # sum_duplicates), so plain fancy-index assignment applies — much
+        # faster than the np.add.at scatter it replaces.
+        tiles[tile_index, coo.rows % TILE, coo.cols % TILE] = coo.vals
         return TiledMatrix(
             block_rows=unique_keys // blocks_per_row,
             block_cols=unique_keys % blocks_per_row,
