@@ -165,6 +165,35 @@ class ExperimentResult:
             "reasons": reasons,
         }
 
+    # -- host-vs-simulated drift ------------------------------------------- #
+
+    def host_drift_ratios(self) -> list[float]:
+        """``host_seconds / seconds`` per measured time point — the one
+        eligibility rule both the per-experiment and run-level drift
+        summaries aggregate from."""
+        if self.unit != "seconds":
+            return []
+        return [
+            point.host_seconds / point.seconds
+            for point in self.points
+            if point.host_seconds and point.seconds > 0
+        ]
+
+    def host_drift_summary(self) -> dict:
+        """Wall-clock vs simulated-time drift for this experiment.
+
+        Geomean of ``host_seconds / seconds`` over time points that
+        measured wall-clock.  The *trend* of this ratio across reports is
+        what matters: a jump means an interpreter-level regression the
+        simulated gate cannot see.  ``None`` when nothing was measured
+        (or the experiment's unit is not seconds).
+        """
+        ratios = self.host_drift_ratios()
+        return {
+            "points": len(ratios),
+            "host_over_sim_geomean": geomean(ratios),
+        }
+
     # -- verification bookkeeping ------------------------------------------ #
 
     def verification_summary(self) -> dict[str, int]:
@@ -194,6 +223,7 @@ class ExperimentResult:
             "fidelity_geomean": geometric_mean_ratio(self),
             "verification": self.verification_summary(),
             "fallback": self.fallback_summary(),
+            "host_drift": self.host_drift_summary(),
         }
 
     @classmethod
@@ -284,7 +314,8 @@ def geometric_mean_ratio(result: ExperimentResult) -> float | None:
     )
 
 
-def timed_execute(engine, sql: str, repeats: int = 1):
+def timed_execute(engine, sql: str, repeats: int = 1,
+                  params: dict | None = None):
     """Run ``engine.execute(sql)`` and measure host wall-clock.
 
     Returns ``(result, host_seconds)`` with ``host_seconds`` the minimum
@@ -297,7 +328,7 @@ def timed_execute(engine, sql: str, repeats: int = 1):
     best = float("inf")
     for _ in range(max(repeats, 1)):
         start = time.perf_counter()
-        result = engine.execute(sql)
+        result = engine.execute(sql, params=params)
         best = min(best, time.perf_counter() - start)
     return result, best
 

@@ -4,11 +4,13 @@
         [--baseline prev.json] [--experiments fig7,fig9] [--no-verify]
 
 Runs every experiment at the chosen :class:`ScaleProfile`, oracle-verifies
-each point (smoke profile), writes a schema-versioned JSON report, and —
-when given a baseline report — applies the regression gate from
+each point (full replay on smoke, sampled streaming replay on
+paper/stress), writes a schema-versioned JSON report, and — when given a
+baseline report — applies the regression gate from
 ``repro.bench.regress``.  Exit status: 0 clean, 1 oracle mismatch,
 2 performance regression, 3 stale baseline (no comparable points),
-4 ``--experiments`` filter matched nothing.
+4 ``--experiments`` filter matched nothing, 5 ``--require-verified``
+found unchecked points.
 """
 
 from __future__ import annotations
@@ -45,6 +47,9 @@ ExperimentThunk = Callable[[], ExperimentResult]
 
 #: A typo'd --experiments filter must not look like a clean run.
 EXIT_EMPTY_FILTER = 4
+
+#: ``--require-verified`` found unchecked (or mismatched) points.
+EXIT_UNVERIFIED = 5
 
 
 def iter_experiments(
@@ -136,6 +141,13 @@ def _print_report(report: BenchReport, verbose: bool) -> None:
         )
         for reason, count in sorted(fallback["reasons"].items()):
             print(f"  fallback x{count}: {reason}")
+    drift = report.host_drift_summary()
+    if drift["points"]:
+        print(
+            f"host drift: wall-clock / simulated geomean "
+            f"{drift['host_over_sim_geomean']:.2f}x over "
+            f"{drift['points']} measured points"
+        )
     for line in report.mismatches():
         print(f"MISMATCH: {line}")
 
@@ -164,13 +176,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--verify", action="store_true",
                         help="force oracle verification on profiles that "
                              "disable it (may be very slow)")
+    parser.add_argument("--require-verified", action="store_true",
+                        help="exit non-zero unless every point reports "
+                             "verified (the bench-paper-sample CI gate)")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the run summary")
     args = parser.parse_args(argv)
 
     profile = get_profile(args.profile)
     verify = (profile.verify or args.verify) and not args.no_verify
-    verifier = OracleVerifier(enabled=verify)
+    verifier = OracleVerifier(
+        enabled=verify,
+        policy=getattr(profile, "verify_policy", "full") or "full",
+        sample_rows=getattr(profile, "verify_sample_rows", 2048),
+    )
     only = ([token.strip() for token in args.experiments.split(",")
              if token.strip()] if args.experiments else None)
     if only:
@@ -194,6 +213,14 @@ def main(argv: list[str] | None = None) -> int:
     if report.verification_summary()["mismatched"]:
         print("FAIL: oracle mismatches detected")
         status = EXIT_MISMATCH
+    if args.require_verified:
+        summary = report.verification_summary()
+        if summary["unchecked"] or summary["mismatched"]:
+            print(
+                f"FAIL: --require-verified: {summary['unchecked']} "
+                f"unchecked, {summary['mismatched']} mismatched points"
+            )
+            status = status or EXIT_UNVERIFIED
     if args.baseline:
         baseline = BenchReport.load(args.baseline)
         verdict = compare_reports(report, baseline,

@@ -11,7 +11,10 @@ row-multiset comparison the differential test suite uses
 Verification kinds recorded on each :class:`SeriesPoint`:
 
 * ``oracle``  — SQL replayed through the engine (REAL mode) and the
-  Reference oracle; row multisets compared within fp tolerance.
+  Reference oracle; row multisets compared within fp tolerance.  Under
+  the ``stream`` policy the replay runs on a deterministically
+  chunk-sampled catalog through the streaming oracle (paper/stress
+  scales), recorded in the point's note.
 * ``numeric`` — tensor-unit numerics checked against a float64 product
   (used for the raw-GEMM and precision experiments with no SQL query).
 * ``shape``   — generator output recounted independently (dataset-shape
@@ -29,6 +32,9 @@ from repro.engine.monetdb import MonetDBEngine
 from repro.engine.reference import ReferenceEngine
 from repro.engine.tcudb import TCUDBEngine
 from repro.engine.ydb import YDBEngine
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.table import Table
 
 #: fp16 round-off through the TCU path; everything else must be exact.
 TCU_REL = 2e-3
@@ -110,25 +116,83 @@ def skip(point, note: str = "") -> None:
     point.verify_note = note[:200]
 
 
+def sampled_catalog(
+    catalog, budget_rows: int
+) -> tuple[Catalog, list[str]]:
+    """A deterministic chunk-sampled replica of a catalog.
+
+    Tables within the budget are shared as-is; larger tables are
+    re-chunked at a fraction of the budget and keep every ``stride``-th
+    chunk, so the ~``budget_rows`` kept rows *spread across the whole
+    table* (generated-in-order columns like dates contribute their full
+    value range, not just the head).  Sampling is stride-based over the
+    chunk grid — no RNG — so the same catalog always samples to the
+    same replica and a verification failure reproduces exactly.
+    """
+    out = Catalog()
+    notes: list[str] = []
+    for name in catalog.table_names():
+        table = catalog.get(name)
+        if table.num_rows <= budget_rows:
+            out.register(table)
+            continue
+        # Sample in sub-budget chunks so the kept rows stripe the table.
+        sample_chunk = max(budget_rows // 8, 64)
+        chunked = table.chunked(sample_chunk)
+        keep = max(budget_rows // sample_chunk, 1)
+        stride = max(-(-chunked.num_chunks // keep), 1)
+        kept = chunked.chunks[::stride]
+        columns = {
+            column_name: Column(
+                np.concatenate(
+                    [chunk.column(column_name).data for chunk in kept]
+                ),
+                table.column(column_name).dtype,
+                table.column(column_name).dictionary,
+            )
+            for column_name in table.column_names
+        }
+        sampled = Table(name, columns)
+        out.register(sampled)
+        notes.append(f"{name}:{sampled.num_rows}/{table.num_rows}")
+    return out, notes
+
+
 class OracleVerifier:
     """Replays benchmarked queries against the Reference oracle.
 
     One verifier is shared across a whole benchmark run so that the
     oracle executes each distinct (catalog, sql, params) once even when
     three engines are timed on it.  ``enabled=False`` turns every check
-    into a recorded skip, which is how the ``paper``/``stress`` profiles
-    (whose configurations are too large to materialize) run.
+    into a recorded skip.
+
+    ``policy`` selects the replay mode for SQL points:
+
+    * ``"full"``   — the exact benchmark catalogs replay in REAL mode
+      (the smoke profile: inputs are CI-sized by construction);
+    * ``"stream"`` — paper/stress-scale replay: tables beyond
+      ``sample_rows`` are deterministically chunk-sampled (stride over
+      the storage chunk grid, no RNG) and the oracle executes through
+      the *streaming* PhysicalExecutor.  Engine and oracle replay the
+      same sample, so the row-multiset comparison remains a true
+      differential check; the sampling is recorded in the point's
+      ``verify_note``.
     """
 
-    def __init__(self, enabled: bool = True, pair_limit: int = 20_000_000):
+    def __init__(self, enabled: bool = True, pair_limit: int = 20_000_000,
+                 policy: str = "full", sample_rows: int = 2048):
         self.enabled = enabled
         self.pair_limit = pair_limit
+        self.policy = policy
+        self.sample_rows = sample_rows
         self.checked = 0
         self.mismatches: list[str] = []
         self._oracle_cache: dict[tuple, list[tuple]] = {}
         # Hold catalog refs so id()-keyed cache entries cannot alias a
         # garbage-collected catalog's address.
         self._catalogs: dict[int, object] = {}
+        # Source catalog id -> (sampled catalog, sampling notes).
+        self._sampled: dict[int, tuple[Catalog, list[str]]] = {}
 
     # -- engine construction ------------------------------------------- #
 
@@ -151,12 +215,29 @@ class OracleVerifier:
         params_key = tuple(sorted((params or {}).items()))
         key = (id(catalog), sql, params_key)
         if key not in self._oracle_cache:
-            oracle = ReferenceEngine(catalog, pair_limit=self.pair_limit)
+            # Stream policy: the oracle replays morsel-driven, so its
+            # peak memory stays bounded by chunk size + distinct groups.
+            oracle = ReferenceEngine(catalog, pair_limit=self.pair_limit,
+                                     streaming=self.policy == "stream")
             self._oracle_cache[key] = result_rows(
                 oracle.execute(sql, params=params)
             )
             self._catalogs.setdefault(id(catalog), catalog)
         return self._oracle_cache[key]
+
+    def _replay_catalog(self, catalog) -> tuple[object, str]:
+        """The catalog SQL replay runs on, plus a sampling note."""
+        if self.policy != "stream":
+            return catalog, ""
+        cached = self._sampled.get(id(catalog))
+        if cached is None:
+            cached = sampled_catalog(catalog, self.sample_rows)
+            self._sampled[id(catalog)] = cached
+            self._catalogs.setdefault(id(catalog), catalog)
+        replica, notes = cached
+        if not notes:
+            return replica, "streamed replay"
+        return replica, "sampled chunks " + ", ".join(notes)
 
     # -- checks ---------------------------------------------------------- #
 
@@ -181,15 +262,17 @@ class OracleVerifier:
             rel = TCU_REL if engine_name.lower() == "tcudb" else EXACT_REL
         self.checked += 1
         try:
-            engine = self._real_engine(engine_name, catalog,
+            replay_catalog, note = self._replay_catalog(catalog)
+            engine = self._real_engine(engine_name, replay_catalog,
                                        device=device, options=options)
             got = result_rows(engine.execute(sql, params=params))
-            expected = self._oracle_rows(catalog, sql, params)
+            expected = self._oracle_rows(replay_catalog, sql, params)
             error = rows_match(got, expected, rel=rel)
         except Exception as exc:  # surfaced in the report, not swallowed
             error = f"replay failed: {type(exc).__name__}: {exc}"
+            note = ""
         if error is None:
-            mark(point, True, "oracle")
+            mark(point, True, "oracle", note)
         else:
             mark(point, False, "oracle", error)
             self.mismatches.append(
@@ -218,5 +301,6 @@ __all__ = [
     "mark",
     "result_rows",
     "rows_match",
+    "sampled_catalog",
     "skip",
 ]

@@ -44,6 +44,7 @@ from repro.sql.eval import (
 )
 from repro.sql.logical import (
     Aggregate,
+    Compute,
     Filter,
     Join,
     Limit,
@@ -53,6 +54,7 @@ from repro.sql.logical import (
     Sort,
 )
 from repro.storage.column import Column
+from repro.storage.statistics import conjunction_can_match
 from repro.storage.table import Table
 from repro.storage.types import DataType
 
@@ -216,6 +218,8 @@ class GroupContext:
     Wraps one grouped relation: ``group_ids`` assigns each input row to a
     group, ``representatives`` holds one input row index per group (for
     group-key columns).  Expressions evaluate to one value per group.
+    Expressions structurally equal to a computed GROUP BY key resolve to
+    that key's projected column (expression GROUP BY).
     """
 
     def __init__(
@@ -233,10 +237,17 @@ class GroupContext:
         self.n_groups = n_groups
         self.representatives = representatives
         self.group_keys = {c.key for c in group_by}
+        self.computed = {
+            expr: key
+            for key, expr in getattr(bound, "group_exprs", {}).items()
+        }
 
     # -- expressions ---------------------------------------------------- #
 
     def eval_expr(self, expr: Expr) -> np.ndarray:
+        computed_key = self.computed.get(expr)
+        if computed_key is not None:
+            return self.env.lookup(computed_key)[self.representatives]
         if isinstance(expr, AggregateCall):
             return group_aggregate(expr, self.env, self.bound,
                                    self.group_ids, self.n_groups)
@@ -280,6 +291,54 @@ class GroupContext:
         for predicate in predicates:
             mask &= self.eval_predicate(predicate)
         return mask
+
+
+def compute_environment(
+    env: Environment, computed, bound: BoundQuery
+) -> Environment:
+    """Extend an environment with computed columns (``Compute`` node)."""
+    arrays = dict(env.arrays)
+    for key, expr in computed:
+        arrays[key] = evaluate_expr(expr, env, bound)
+    return Environment(arrays, env.n_rows)
+
+
+def pruned_scan_chunks(bound: BoundQuery, binding: str, filters,
+                       chunk_rows: int | None = None):
+    """Chunks of one binding's table surviving stat pruning for a scan's
+    filter conjuncts.
+
+    Returns ``(kept_chunks, chunked_table, name_of)`` where ``name_of``
+    maps lowercase column names to the table's actual names.  This is
+    the single chunk-prune protocol — shared by the streaming executor's
+    Scan and TCUDB's ``TableSource`` so the statistics-resolution rules
+    cannot drift between the two scans.
+    """
+    table = bound.binding(binding).table
+    chunked = table.chunked(chunk_rows)
+    name_of = {name.lower(): name for name in table.column_names}
+    if not filters:
+        return list(chunked), chunked, name_of
+
+    def encode(ref, value):
+        return encode_literal(bound, ref, value)
+
+    kept = []
+    for chunk in chunked:
+        def stats_of(expr, chunk=chunk):
+            if not isinstance(expr, ColumnRef):
+                return None
+            try:
+                resolved = bound.resolve(expr)
+            except BindError:
+                return None
+            if resolved.binding != binding:
+                return None
+            return chunk.stats(name_of[resolved.column])
+
+        if conjunction_can_match(filters, stats_of, encode):
+            kept.append(chunk)
+    return kept, chunked, name_of
 
 
 def build_group_context(
@@ -456,14 +515,31 @@ def build_result_table(
 class PhysicalExecutor:
     """Interpret a logical plan tree with pure NumPy kernels.
 
-    Fully materializing and cost-free: every operator computes exact
-    results.  ``pair_limit`` bounds join materialization so runaway
-    fuzzed queries fail loudly instead of exhausting memory.
+    Cost-free and exact on both of its paths:
+
+    * the legacy contiguous path (:meth:`run`) materializes every
+      operator's full output;
+    * the streaming path (:meth:`run_streaming`) pulls fixed-size row
+      chunks through Scan/Filter/Compute/Join and merges mergeable
+      aggregate partials, so grouped queries execute in memory bounded
+      by (chunk size x join fan-out) + (distinct groups) instead of the
+      full intermediate — what lets REAL-mode oracle replay work at
+      paper scale.  Scans prune chunks their per-chunk min/max
+      statistics prove empty for the pushed-down filters.
+
+    ``pair_limit`` bounds join materialization (cumulative across
+    chunks on the streaming path) so runaway fuzzed queries fail loudly
+    instead of exhausting memory.
     """
 
-    def __init__(self, bound: BoundQuery, pair_limit: int = 20_000_000):
+    def __init__(self, bound: BoundQuery, pair_limit: int = 20_000_000,
+                 chunk_rows: int | None = None):
         self.bound = bound
         self.pair_limit = pair_limit
+        self.chunk_rows = chunk_rows
+        #: chunks skipped by stat pruning in the last streaming run
+        self.chunks_pruned = 0
+        self.chunks_scanned = 0
 
     # -- relational operators (return environments) ---------------------- #
 
@@ -482,6 +558,9 @@ class PhysicalExecutor:
             return env.filtered(
                 conjunction_mask(node.predicates, env, self.bound)
             )
+        if isinstance(node, Compute):
+            env = self._run_relation(node.input)
+            return compute_environment(env, node.computed, self.bound)
         raise ExecutionError(f"unexpected relational node {node!r}")
 
     def _run_join(self, node: Join) -> Environment:
@@ -541,3 +620,330 @@ class PhysicalExecutor:
         arrays, names = self._run_output(tree)
         arrays = apply_order_limit(self.bound, arrays, names)
         return arrays, names
+
+    # -- streaming (morsel-driven) execution ----------------------------- #
+
+    def stream_relation(self, node: LogicalNode):
+        """Yield the relation's rows as a sequence of chunk Environments.
+
+        Chunk boundaries are an implementation detail: concatenating the
+        yielded chunks equals the contiguous ``_run_relation`` output row
+        for row (streaming never reorders).
+        """
+        if isinstance(node, Scan):
+            yield from self._stream_scan(node)
+        elif isinstance(node, Join):
+            yield from self._stream_join(node)
+        elif isinstance(node, Filter):
+            for env in self.stream_relation(node.input):
+                filtered = env.filtered(
+                    conjunction_mask(node.predicates, env, self.bound)
+                )
+                if filtered.n_rows:
+                    yield filtered
+        elif isinstance(node, Compute):
+            for env in self.stream_relation(node.input):
+                yield compute_environment(env, node.computed, self.bound)
+        else:
+            raise ExecutionError(f"unexpected relational node {node!r}")
+
+    def _stream_scan(self, node: Scan):
+        binding = node.binding
+        kept, chunked, name_of = pruned_scan_chunks(
+            self.bound, binding, node.filters, self.chunk_rows
+        )
+        self.chunks_pruned += chunked.num_chunks - len(kept)
+        for chunk in kept:
+            self.chunks_scanned += 1
+            env = Environment(
+                {
+                    f"{binding}.{lower}": chunk.column(name).data
+                    for lower, name in name_of.items()
+                },
+                chunk.num_rows,
+            )
+            if node.filters:
+                env = env.filtered(
+                    conjunction_mask(node.filters, env, self.bound)
+                )
+            if env.n_rows:
+                yield env
+
+    def _stream_join(self, node: Join):
+        """Stream the probe (left) side against a materialized build
+        (right) side, one chunk of matches at a time."""
+        right = self._run_relation(node.right)
+        predicate = node.predicate
+        right_keys = right.lookup(predicate.right.key)
+        total = 0
+        for left_env in self.stream_relation(node.left):
+            left_keys = left_env.lookup(predicate.left.key)
+            # Each chunk gets the *remaining* budget, so a skewed chunk
+            # fails on its cheap pre-count instead of materializing an
+            # over-limit pair set first.
+            remaining = self.pair_limit - total
+            if predicate.is_equi:
+                left_idx, right_idx = equi_join_indices(
+                    left_keys, right_keys, pair_limit=remaining
+                )
+            else:
+                left_idx, right_idx = nonequi_join_indices(
+                    left_keys, right_keys, predicate.op,
+                    pair_limit=remaining,
+                )
+            total += int(left_idx.size)
+            if not left_idx.size:
+                continue
+            merged = dict(left_env.taken(left_idx).arrays)
+            merged.update(right.taken(right_idx).arrays)
+            yield Environment(merged, int(left_idx.size))
+
+    def _stream_output(
+        self, node: LogicalNode
+    ) -> tuple[list[np.ndarray], list[str]]:
+        if isinstance(node, Aggregate):
+            return self._stream_aggregate(node)
+        if isinstance(node, Project):
+            names = [item.output_name for item in node.items]
+            parts: list[list[np.ndarray]] = [[] for _ in node.items]
+            for env in self.stream_relation(node.input):
+                for i, item in enumerate(node.items):
+                    parts[i].append(
+                        np.asarray(evaluate_expr(item.expr, env, self.bound))
+                    )
+            arrays = [
+                np.concatenate(chunks) if chunks else np.array([])
+                for chunks in parts
+            ]
+            return arrays, names
+        if isinstance(node, (Sort, Limit)):
+            return self._stream_output(node.input)
+        raise ExecutionError(f"unknown plan node {node!r}")
+
+    def _stream_aggregate(
+        self, node: Aggregate
+    ) -> tuple[list[np.ndarray], list[str]]:
+        names = [item.output_name for item in node.items]
+        calls: list[AggregateCall] = []
+        for item in node.items:
+            for sub in item.expr.walk():
+                if isinstance(sub, AggregateCall) and sub not in calls:
+                    calls.append(sub)
+        for predicate in node.having:
+            from repro.sql.ast_nodes import walk_predicate_exprs
+
+            for expr in walk_predicate_exprs(predicate):
+                for sub in expr.walk():
+                    if isinstance(sub, AggregateCall) and sub not in calls:
+                        calls.append(sub)
+        aggregator = StreamAggregator(self.bound, node.group_by, calls)
+        for env in self.stream_relation(node.input):
+            aggregator.consume(env)
+        evaluator = aggregator.finalize()
+        if evaluator.n_groups == 0:
+            return [np.array([]) for _ in node.items], names
+        arrays = [evaluator.eval_expr(item.expr) for item in node.items]
+        if node.having:
+            mask = evaluator.having_mask(node.having)
+            arrays = [np.asarray(a)[mask] for a in arrays]
+        return arrays, names
+
+    def run_streaming(
+        self, tree: LogicalNode
+    ) -> tuple[list[np.ndarray], list[str]]:
+        """Streaming equivalent of :meth:`run`: same arrays, bounded
+        memory."""
+        self.chunks_pruned = 0
+        self.chunks_scanned = 0
+        arrays, names = self._stream_output(tree)
+        arrays = apply_order_limit(self.bound, arrays, names)
+        return arrays, names
+
+
+# --------------------------------------------------------------------------- #
+# Streaming aggregation: mergeable per-chunk partials
+# --------------------------------------------------------------------------- #
+
+
+class StreamAggregator:
+    """Grouped aggregation over a chunk stream.
+
+    Each chunk reduces to per-chunk-group partials (SUM/COUNT partials
+    sum, MIN/MAX partials min/max, AVG carries sum+count), keyed by the
+    chunk's group-key values; ``finalize`` merges the partials with one
+    global re-group.  Memory is bounded by the number of *distinct
+    groups seen*, never by the input row count.
+    """
+
+    def __init__(self, bound: BoundQuery, group_by: list[BoundColumn],
+                 calls: list[AggregateCall]):
+        self.bound = bound
+        self.group_by = list(group_by)
+        self.group_keys = [c.key for c in group_by]
+        self.calls = list(calls)
+        self._key_parts: list[list[np.ndarray]] = [
+            [] for _ in self.group_keys
+        ]
+        # Per call: list of (component name -> partial array) per chunk.
+        self._partials: list[dict[str, list[np.ndarray]]] = [
+            {"sum": [], "count": [], "min": [], "max": []}
+            for _ in self.calls
+        ]
+        self._saw_rows = False
+
+    def consume(self, env: Environment) -> None:
+        n = env.n_rows
+        if n == 0:
+            return
+        self._saw_rows = True
+        if self.group_keys:
+            key_arrays = [np.asarray(env.lookup(k)) for k in self.group_keys]
+            combined = combine_group_codes(key_arrays)
+            uniques, ids = np.unique(combined, return_inverse=True)
+            n_groups = int(uniques.size)
+            representatives = np.zeros(n_groups, dtype=np.int64)
+            representatives[ids] = np.arange(n)
+            for part, keys in zip(self._key_parts, key_arrays):
+                part.append(keys[representatives])
+        else:
+            ids = np.zeros(n, dtype=np.int64)
+            n_groups = 1
+        counts = np.bincount(ids, minlength=n_groups).astype(np.float64)
+        for call, partial in zip(self.calls, self._partials):
+            if call.argument is None or call.func == "count":
+                partial["count"].append(counts)
+                continue
+            values = np.asarray(
+                evaluate_expr(call.argument, env, self.bound),
+                dtype=np.float64,
+            )
+            if call.func in ("sum", "avg"):
+                partial["sum"].append(
+                    np.bincount(ids, weights=values, minlength=n_groups)
+                )
+                partial["count"].append(counts)
+            elif call.func == "min":
+                out = np.full(n_groups, np.inf)
+                np.minimum.at(out, ids, values)
+                partial["min"].append(out)
+            elif call.func == "max":
+                out = np.full(n_groups, -np.inf)
+                np.maximum.at(out, ids, values)
+                partial["max"].append(out)
+            else:
+                raise ExecutionError(f"unsupported aggregate {call.func!r}")
+
+    def finalize(self) -> "StreamGroupEval":
+        if not self._saw_rows:
+            return StreamGroupEval(self.bound, self.group_by, {}, {}, 0)
+        if self.group_keys:
+            key_arrays = [np.concatenate(part) for part in self._key_parts]
+            combined = combine_group_codes(key_arrays)
+            uniques, ids = np.unique(combined, return_inverse=True)
+            n_groups = int(uniques.size)
+            representatives = np.zeros(n_groups, dtype=np.int64)
+            representatives[ids] = np.arange(ids.size)
+            key_values = {
+                key: array[representatives]
+                for key, array in zip(self.group_keys, key_arrays)
+            }
+        else:
+            n_partials = max(
+                (len(p["count"]) or len(p["sum"]) or len(p["min"])
+                 or len(p["max"]))
+                for p in self._partials
+            ) if self._partials else 1
+            ids = np.zeros(max(n_partials, 1), dtype=np.int64)
+            n_groups = 1
+            key_values = {}
+        finals: dict[AggregateCall, np.ndarray] = {}
+        for call, partial in zip(self.calls, self._partials):
+            if call.argument is None or call.func == "count":
+                finals[call] = np.bincount(
+                    ids, weights=np.concatenate(partial["count"]),
+                    minlength=n_groups,
+                )
+            elif call.func in ("sum", "avg"):
+                sums = np.bincount(
+                    ids, weights=np.concatenate(partial["sum"]),
+                    minlength=n_groups,
+                )
+                if call.func == "sum":
+                    finals[call] = sums
+                else:
+                    counts = np.bincount(
+                        ids, weights=np.concatenate(partial["count"]),
+                        minlength=n_groups,
+                    )
+                    finals[call] = sums / np.maximum(counts, 1)
+            elif call.func == "min":
+                out = np.full(n_groups, np.inf)
+                np.minimum.at(out, ids, np.concatenate(partial["min"]))
+                finals[call] = out
+            else:  # max
+                out = np.full(n_groups, -np.inf)
+                np.maximum.at(out, ids, np.concatenate(partial["max"]))
+                finals[call] = out
+        return StreamGroupEval(self.bound, self.group_by, key_values,
+                               finals, n_groups)
+
+
+class StreamGroupEval:
+    """Per-group expression/HAVING evaluation over merged partials
+    (the streaming counterpart of :class:`GroupContext`)."""
+
+    def __init__(self, bound: BoundQuery, group_by: list[BoundColumn],
+                 key_values: dict[str, np.ndarray],
+                 finals: dict[AggregateCall, np.ndarray], n_groups: int):
+        self.bound = bound
+        self.group_keys = {c.key for c in group_by}
+        self.key_values = key_values
+        self.finals = finals
+        self.n_groups = n_groups
+        self.computed = {
+            expr: key
+            for key, expr in getattr(bound, "group_exprs", {}).items()
+        }
+
+    def eval_expr(self, expr: Expr) -> np.ndarray:
+        computed_key = self.computed.get(expr)
+        if computed_key is not None and computed_key in self.key_values:
+            return self.key_values[computed_key]
+        if isinstance(expr, AggregateCall):
+            final = self.finals.get(expr)
+            if final is None:
+                raise ExecutionError(
+                    f"aggregate {expr} was not accumulated by the stream"
+                )
+            return final
+        if isinstance(expr, Literal):
+            return np.full(self.n_groups, expr.value)
+        if isinstance(expr, ColumnRef):
+            key = self.bound.resolve(expr).key
+            if key not in self.group_keys:
+                raise ExecutionError(f"non-grouped column {key} in select")
+            return self.key_values[key]
+        if isinstance(expr, BinaryOp):
+            left = np.asarray(self.eval_expr(expr.left), dtype=np.float64)
+            right = np.asarray(self.eval_expr(expr.right), dtype=np.float64)
+            op = _ARITH_OPS.get(expr.op)
+            if op is None:
+                raise ExecutionError(
+                    f"unsupported arithmetic operator {expr.op!r}"
+                )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return op(left, right)
+        raise ExecutionError(
+            f"unsupported aggregate-context expression {expr!r}"
+        )
+
+    def having_mask(self, predicates: list[Predicate]) -> np.ndarray:
+        mask = np.ones(self.n_groups, dtype=bool)
+        for predicate in predicates:
+            mask &= predicate_mask(
+                predicate,
+                self.n_groups,
+                self.eval_expr,
+                lambda ref, value: encode_literal(self.bound, ref, value),
+            )
+        return mask

@@ -29,15 +29,27 @@ class ReferenceEngine(Engine):
         catalog: Catalog,
         mode: ExecutionMode = ExecutionMode.REAL,
         pair_limit: int = 20_000_000,
+        streaming: bool = False,
+        chunk_rows: int | None = None,
     ):
         # The oracle always materializes; ANALYTIC mode has no meaning here.
         super().__init__(catalog, ExecutionMode.REAL)
         self.pair_limit = pair_limit
+        # Streaming replay pulls chunk batches through the plan instead
+        # of materializing whole intermediates — same answers, memory
+        # bounded by chunk size + distinct groups (what lets the bench
+        # verifier replay paper-scale profiles).
+        self.streaming = streaming
+        self.chunk_rows = chunk_rows
 
     def execute_bound(self, bound: BoundQuery) -> QueryResult:
         tree = plan(bound)
-        executor = PhysicalExecutor(bound, pair_limit=self.pair_limit)
-        arrays, names = executor.run(tree)
+        executor = PhysicalExecutor(bound, pair_limit=self.pair_limit,
+                                    chunk_rows=self.chunk_rows)
+        if self.streaming:
+            arrays, names = executor.run_streaming(tree)
+        else:
+            arrays, names = executor.run(tree)
         table = build_result_table(bound, arrays, names)
         return QueryResult(
             engine=self.name,
@@ -45,7 +57,12 @@ class ReferenceEngine(Engine):
             breakdown=TimingBreakdown(),
             table=table,
             plan_description=explain(tree),
-            extra={"oracle": True},
+            extra={
+                "oracle": True,
+                "streaming": self.streaming,
+                "chunks_pruned": executor.chunks_pruned,
+                "chunks_scanned": executor.chunks_scanned,
+            },
         )
 
 

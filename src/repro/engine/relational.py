@@ -23,6 +23,7 @@ from repro.sql.binder import BoundColumn, BoundQuery
 from repro.sql.eval import Environment, conjunction_mask, evaluate_expr
 from repro.sql.logical import (
     Aggregate,
+    Compute,
     Filter,
     Join,
     Limit,
@@ -121,6 +122,9 @@ class RelationalExecutor(Engine):
         if isinstance(node, Filter):
             out = self._run_filter(node, bound, breakdown)
             return out, None, None
+        if isinstance(node, Compute):
+            out = self._run_compute(node, bound, breakdown)
+            return out, None, None
         if isinstance(node, Aggregate):
             return self._run_aggregate(node, bound, breakdown)
         if isinstance(node, Project):
@@ -192,6 +196,22 @@ class RelationalExecutor(Engine):
             return OpOutput(env=None, n_rows=n)
         mask = conjunction_mask(node.predicates, source.env, bound)
         env = source.env.filtered(mask)
+        return OpOutput(env=env, n_rows=env.n_rows)
+
+    # -- computed columns (expression GROUP BY) ----------------------------------- #
+
+    def _run_compute(self, node: Compute, bound: BoundQuery,
+                     breakdown: TimingBreakdown) -> OpOutput:
+        source = self._run_relation(node.input, bound, breakdown)
+        for stage, seconds in self.cost_model.scan(
+            source.n_rows, len(node.computed)
+        ):
+            breakdown.add(stage, seconds)
+        if not source.materialized:
+            return source
+        from repro.engine.physical import compute_environment
+
+        env = compute_environment(source.env, node.computed, bound)
         return OpOutput(env=env, n_rows=env.n_rows)
 
     # -- joins ------------------------------------------------------------------------ #
@@ -302,10 +322,23 @@ class RelationalExecutor(Engine):
 
     def _estimate_groups(self, bound: BoundQuery,
                          group_by: list[BoundColumn], n_input: int) -> int:
+        from repro.sql.ast_nodes import ColumnRef
+
         if not group_by:
             return 1 if n_input else 0
         estimate = 1
+        group_exprs = getattr(bound, "group_exprs", {})
         for column in group_by:
+            if column.key in group_exprs:
+                # Computed key: distinct(f(x, y, ...)) is bounded by the
+                # product of the base columns' distinct counts.
+                factor = 1
+                for node in group_exprs[column.key].walk():
+                    if isinstance(node, ColumnRef):
+                        stats = bound.column_stats(bound.resolve(node))
+                        factor *= max(stats.n_distinct, 1)
+                estimate *= min(factor, max(n_input, 1))
+                continue
             estimate *= max(bound.column_stats(column).n_distinct, 1)
         return min(estimate, n_input)
 

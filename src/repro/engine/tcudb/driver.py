@@ -191,11 +191,22 @@ def build_coo_operands(side: "PreparedAggSide", k: int) -> OperandStructure:
 
 
 class TCUDriver:
-    """Executes TCU plans on a simulated device."""
+    """Executes TCU plans on a simulated device.
 
-    def __init__(self, device: GPUDevice, mode: ExecutionMode):
+    ``chunk_rows`` enables morsel-driven numeric execution: dense/blocked
+    aggregate grids accumulate over key-domain chunks (each operand slice
+    is at most ``g x chunk_rows`` cells) and numeric join products chunk
+    the probe rows, extracting nonzero pairs per product slice.  Chunked
+    accumulation is what keeps large-``k`` products on the bit-accurate
+    numeric path with bounded memory; ``None`` reproduces the legacy
+    whole-operand build.
+    """
+
+    def __init__(self, device: GPUDevice, mode: ExecutionMode,
+                 chunk_rows: int | None = None):
         self.device = device
         self.mode = mode
+        self.chunk_rows = chunk_rows
 
     # -- shared charging ---------------------------------------------------- #
 
@@ -213,15 +224,30 @@ class TCUDriver:
 
     def use_numeric_join(self, prepared: PreparedJoin,
                          mode: ExecutionMode) -> bool:
-        """True when the join product is small enough for bit-accurate
-        TCU emulation (beyond it, the semantic exact-key path applies)."""
+        """True when the join product can run bit-accurate TCU emulation.
+
+        Unchunked, every dense piece (left operand, right operand, the
+        product) must fit the cell budget.  With chunked execution the
+        probe rows stream: only one ``chunk x k`` operand slice and one
+        ``chunk x m`` product slice live at a time, so the left row count
+        stops being a limit — the build side still must fit.
+        """
+        if mode != ExecutionMode.REAL:
+            return False
         n = prepared.left_keys_mapped.size
         m = prepared.right_keys_mapped.size
+        k = prepared.k
+        if (n * m <= NUMERIC_CELL_LIMIT
+                and n * k <= NUMERIC_CELL_LIMIT
+                and m * k <= NUMERIC_CELL_LIMIT):
+            return True
+        if self.chunk_rows is None:
+            return False
+        chunk = min(self.chunk_rows, max(n, 1))
         return (
-            mode == ExecutionMode.REAL
-            and n * m <= NUMERIC_CELL_LIMIT
-            and n * prepared.k <= NUMERIC_CELL_LIMIT
-            and m * prepared.k <= NUMERIC_CELL_LIMIT
+            m * k <= NUMERIC_CELL_LIMIT
+            and chunk * m <= NUMERIC_CELL_LIMIT
+            and chunk * k <= NUMERIC_CELL_LIMIT
         )
 
     def use_numeric_grid(self, g1: int, g2: int, k: int,
@@ -231,7 +257,10 @@ class TCUDriver:
         """True when the aggregate grids can run bit-accurate numerics.
 
         Dense plans must materialize both (g, k) operand matrices, so the
-        dense cell counts gate.  Sparse plans with direct-COO operands
+        dense cell counts gate — unless chunked execution is on, in which
+        case the key domain streams through the unit in ``chunk_rows``
+        column slices and only the ``g x chunk`` slices plus the output
+        grid need fit.  Sparse plans with direct-COO operands
         (``sparse=True`` plus known nnz) never build the dense operands —
         what bounds them is the tiled representation: at worst one 16x16
         tile per stored entry (or per grid slot, whichever is smaller),
@@ -250,9 +279,10 @@ class TCUDriver:
                 + min(nnz_right, -(-g2 // TILE) * k_slots)
             )
             return worst_tiles * TILE * TILE <= NUMERIC_CELL_LIMIT
+        k_slice = k if self.chunk_rows is None else min(k, self.chunk_rows)
         return (
-            g1 * k <= NUMERIC_CELL_LIMIT
-            and g2 * k <= NUMERIC_CELL_LIMIT
+            g1 * k_slice <= NUMERIC_CELL_LIMIT
+            and g2 * k_slice <= NUMERIC_CELL_LIMIT
         )
 
     # -- 2-way join (Q1/Q5) ---------------------------------------------------- #
@@ -303,10 +333,50 @@ class TCUDriver:
         return left, right
 
     def _join_pairs_by_matmul(self, prepared: PreparedJoin, plan: PlanCost):
+        n = prepared.left_keys_mapped.size
+        if self.chunk_rows is not None and n > self.chunk_rows:
+            return self._join_pairs_chunked(prepared, plan)
         left, right = self.join_operand_matrices(prepared)
         product = self._execute_gemm(left, right.T, plan)
         rows, cols = np.nonzero(product > 0)
         return rows, cols
+
+    def _join_pairs_chunked(self, prepared: PreparedJoin, plan: PlanCost):
+        """Numeric join with the probe rows streamed in chunks: one
+        ``chunk x k`` operand slice and one ``chunk x m`` product slice
+        live at a time; pairs are extracted per slice and accumulated."""
+        from repro.engine.tcudb.transform import comparison_matrix
+
+        m = prepared.right_keys_mapped.size
+        k = prepared.k
+        right = dense_from_coo(
+            np.arange(m), prepared.right_keys_mapped, np.ones(m), (m, k)
+        ).T
+        chunk = self.chunk_rows
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        n = prepared.left_keys_mapped.size
+        for start in range(0, n, chunk):
+            keys = prepared.left_keys_mapped[start:start + chunk]
+            nc = keys.size
+            if prepared.op == "=":
+                left = dense_from_coo(
+                    np.arange(nc), keys, np.ones(nc), (nc, k)
+                )
+            else:
+                side = comparison_matrix(
+                    keys, prepared.domain_values, prepared.op
+                )
+                left = dense_from_coo(side.rows, side.cols, side.vals,
+                                      (nc, k))
+            product = self._execute_gemm(left, right, plan)
+            rows, cols = np.nonzero(product > 0)
+            rows_parts.append(rows + start)
+            cols_parts.append(cols)
+        if not rows_parts:
+            empty = np.array([], dtype=np.int64)
+            return empty, empty.copy()
+        return np.concatenate(rows_parts), np.concatenate(cols_parts)
 
     def _join_pairs_semantic(self, prepared: PreparedJoin):
         if self.mode != ExecutionMode.REAL:
@@ -365,6 +435,13 @@ class TCUDriver:
             mat_a = build_coo_operands(left, k).coo(left_values)
             mat_b = build_coo_operands(right, k).coo(right_values)
             return self._execute_gemm(mat_a, mat_b.transpose(), plan)
+        if self.chunk_rows is not None and k > self.chunk_rows:
+            return self._grid_accumulate(left, right, k,
+                                         [np.asarray(left_values,
+                                                     dtype=np.float64)],
+                                         [np.asarray(right_values,
+                                                     dtype=np.float64)],
+                                         plan)[0]
         mat_a = dense_from_coo(
             left.row_codes(), left.keys_mapped, left_values, (left.g, k)
         )
@@ -372,6 +449,41 @@ class TCUDriver:
             right.row_codes(), right.keys_mapped, right_values, (right.g, k)
         )
         return self._execute_gemm(mat_a, mat_b.T, plan)
+
+    def _grid_accumulate(self, left, right, k, left_values_list,
+                         right_values_list, plan):
+        """Grid-wise accumulation over key-domain chunks.
+
+        Each chunk builds per-side ``(g, chunk)`` operand slices holding
+        only the tuples whose mapped key falls in the chunk, multiplies
+        them and accumulates the partial grids — the tiled-matmul
+        identity ``A @ B.T == sum_c A[:, c] @ B[:, c].T`` over column
+        chunks ``c``.  Only one slice pair is live at a time, so the
+        dense numeric path scales to any key-domain size.
+        """
+        chunk = self.chunk_rows
+        n_slices = len(left_values_list)
+        grids = [np.zeros((left.g, right.g)) for _ in range(n_slices)]
+        lrows, lkeys = left.row_codes(), np.asarray(left.keys_mapped)
+        rrows, rkeys = right.row_codes(), np.asarray(right.keys_mapped)
+        for k0 in range(0, k, chunk):
+            k1 = min(k0 + chunk, k)
+            lsel = (lkeys >= k0) & (lkeys < k1)
+            rsel = (rkeys >= k0) & (rkeys < k1)
+            if not lsel.any() or not rsel.any():
+                continue
+            kc = k1 - k0
+            for i in range(n_slices):
+                mat_a = dense_from_coo(
+                    lrows[lsel], lkeys[lsel] - k0,
+                    np.asarray(left_values_list[i])[lsel], (left.g, kc),
+                )
+                mat_b = dense_from_coo(
+                    rrows[rsel], rkeys[rsel] - k0,
+                    np.asarray(right_values_list[i])[rsel], (right.g, kc),
+                )
+                grids[i] += self._execute_gemm(mat_a, mat_b.T, plan)
+        return grids
 
     def _grids_batched(self, left: PreparedAggSide, right: PreparedAggSide,
                        k: int, aggregates, plan: PlanCost,
@@ -407,6 +519,14 @@ class TCUDriver:
                 for lv, rv in zip(left_values, right_values)
             ]
             stacked = np.stack(stacked)
+        elif self.chunk_rows is not None and k > self.chunk_rows:
+            # Grid-wise accumulation over key-domain chunks; the shared
+            # coordinate structure is rebuilt per chunk slice, but only
+            # one (g, chunk) slice pair is ever live.
+            stacked = np.stack(
+                self._grid_accumulate(left, right, k, left_values,
+                                      right_values, plan)
+            )
         else:
             a_stack = left_structure.dense_stack(left_values)
             b_stack = right_structure.dense_stack(right_values)

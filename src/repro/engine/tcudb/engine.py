@@ -60,6 +60,17 @@ class TCUDBOptions:
     # default; ``fusion=False`` executes the unfused per-aggregate
     # operator DAG (bench ablation / debugging).
     fusion: bool = True
+    # Chunked (morsel-driven) execution: scans walk stat-pruned row
+    # chunks, the driver accumulates GEMM grids over key-domain chunks,
+    # and hybrid pre-stages stream.  ``chunked_execution=False`` is the
+    # legacy contiguous ablation switch; ``chunk_rows=None`` takes the
+    # storage layer's chunk-size policy.
+    chunked_execution: bool = True
+    chunk_rows: int | None = None
+    # Streaming hybrid pre-stage: lets hybrid-class queries run in
+    # ANALYTIC mode (bounded by the stage's row budget) instead of
+    # falling back with kind="mode".
+    stream_prestage: bool = True
 
 
 class TCUDBEngine(Engine):
@@ -86,13 +97,22 @@ class TCUDBEngine(Engine):
             force_strategy=self.options.force_strategy,
             force_precision=self.options.force_precision,
         )
-        self.driver = TCUDriver(self.device, mode)
+        self.driver = TCUDriver(self.device, mode,
+                                chunk_rows=self._driver_chunk_rows())
         self._fallback = YDBEngine(catalog, self.device, mode=mode)
+
+    def _driver_chunk_rows(self) -> int | None:
+        if not self.options.chunked_execution:
+            return None
+        from repro.storage.chunk import chunk_rows_policy
+
+        return chunk_rows_policy(self.options.chunk_rows)
 
     # ------------------------------------------------------------------ #
 
     def execute_bound(self, bound: BoundQuery) -> QueryResult:
-        lowered = lower_query(bound, self.mode, fusion=self.options.fusion)
+        lowered = lower_query(bound, self.mode, fusion=self.options.fusion,
+                              streaming=self.options.stream_prestage)
         if isinstance(lowered, MatchFailure):
             return self._fall_back(bound, lowered.reason, lowered.kind)
         ctx = self._context(bound)
@@ -104,7 +124,8 @@ class TCUDBEngine(Engine):
                 # problem (e.g. duplicate-key dimensions) at run time;
                 # retry through the hybrid pipeline before giving up.
                 hybrid = lower_hybrid(bound, self.mode,
-                                      fusion=self.options.fusion)
+                                      fusion=self.options.fusion,
+                                      streaming=self.options.stream_prestage)
                 if isinstance(hybrid, LoweredQuery):
                     ctx = self._context(bound)
                     try:

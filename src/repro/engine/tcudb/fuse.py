@@ -31,6 +31,12 @@ Rewrite rules, applied in order:
     ``Gemm → NonzeroExtract → MaskApply[residual-pairs]`` collapses the
     residual mask into the pair extraction the same way.
 
+``residual-fill``
+    ``MaskApply[residual-fact] → ValueFill[star]`` folds the fact-side
+    residual mask into the operand fill: masked fact tuples are never
+    placed into the operand matrices (a masked fill riding the existing
+    placement pass), removing the last standalone mask operator.
+
 Fusion never rewrites semantics: every rule preserves the operator's
 payload contract, and the fused-vs-unfused equivalence is property-tested
 over the fuzz corpus (``tests/test_fusion.py``).
@@ -122,6 +128,30 @@ def fuse_program(program: TensorProgram) -> TensorProgram:
                 f"fusion: residual-epilogue folded {op.id} into "
                 f"{host.id}'s extraction kernel"
             )
+
+    # -- rule: residual-fill ----------------------------------------------- #
+    for op in program.ops:
+        if not isinstance(op, ops.ValueFill) or op.mode != "star":
+            continue
+        host = by_id.get(op.left_input)
+        if not (isinstance(host, ops.MaskApply)
+                and host.role == "residual-fact"):
+            continue
+        base = rewritten.get(op.id, op)
+        fused_fill = replace(
+            base,
+            epilogue_predicates=list(host.predicates),
+            fused_from=list(base.fused_from) + [host.id],
+        )
+        if hasattr(base, "consumer_id"):
+            fused_fill.consumer_id = base.consumer_id
+        rewritten[op.id] = fused_fill
+        # Consumers of the mask (this fill) rewire to the mask's input.
+        dropped[host.id] = host.input
+        notes.append(
+            f"fusion: residual-fill folded {host.id} into {op.id}'s "
+            "operand fill (masked placement)"
+        )
 
     if not rewritten and not dropped:
         return program

@@ -69,13 +69,16 @@ class LoweredQuery:
 
 
 def lower_query(
-    bound: BoundQuery, mode: ExecutionMode, fusion: bool = True
+    bound: BoundQuery, mode: ExecutionMode, fusion: bool = True,
+    streaming: bool = True,
 ) -> LoweredQuery | MatchFailure:
     """Lower a bound query, preferring the full pattern pipeline.
 
     ``fusion`` runs the optimizing rewrite pass
     (:mod:`repro.engine.tcudb.fuse`) over the lowered program — on by
     default; ``fusion=False`` is the ablation/debug switch.
+    ``streaming`` allows hybrid pre-stages to stream in ANALYTIC mode
+    (off reproduces the legacy ``kind="mode"`` fallback).
     """
     pattern = match_pattern(bound)
     if isinstance(pattern, TCUPattern):
@@ -85,7 +88,7 @@ def lower_query(
         pattern_failure = lowered
     else:
         pattern_failure = pattern
-    hybrid = lower_hybrid(bound, mode, fusion=fusion)
+    hybrid = lower_hybrid(bound, mode, fusion=fusion, streaming=streaming)
     if isinstance(hybrid, LoweredQuery):
         return hybrid
     if hybrid.kind == "mode":
@@ -363,20 +366,36 @@ def _dim_needed_columns(pattern: TCUPattern, dim: str) -> list[str]:
 
 
 def lower_hybrid(
-    bound: BoundQuery, mode: ExecutionMode, fusion: bool = True
+    bound: BoundQuery, mode: ExecutionMode, fusion: bool = True,
+    streaming: bool = True,
 ) -> LoweredQuery | MatchFailure:
     """Lower the aggregation core onto the TCU over a conventional
-    pre-stage (Lemma 3.1 grouped reduce)."""
+    pre-stage (Lemma 3.1 grouped reduce).
+
+    With ``streaming`` (the default), the pre-stage pulls chunk batches
+    through the plan prefix, which also unlocks ANALYTIC-mode hybrid
+    execution (bounded by the stage's row budget) — previously a
+    ``kind="mode"`` fallback."""
     if not (bound.has_aggregates or bound.group_by):
         return MatchFailure(
             "no aggregation core: hybrid lowering accelerates "
             "grouped reduction only"
         )
     group_keys = {c.key for c in bound.group_by}
+    group_columns = {c.key: c for c in bound.group_by}
+    # Computed GROUP BY keys: select/HAVING expressions structurally
+    # equal to a group expression resolve to the projected key column.
+    expr_groups = {
+        expr: group_columns[key]
+        for key, expr in getattr(bound, "group_exprs", {}).items()
+        if key in group_columns
+    }
     calls: list[AggregateCall] = []
     specs: list[AggregateSpec] = []
 
     def build(expr: Expr) -> OutputNode | MatchFailure:
+        if expr in expr_groups:
+            return GroupRef(expr_groups[expr])
         if isinstance(expr, Literal):
             if isinstance(expr.value, str):
                 return MatchFailure("string literals in aggregate outputs")
@@ -431,14 +450,15 @@ def lower_hybrid(
             having_nodes[expr] = node
     # Checked last, after expressibility: a "mode" rejection asserts the
     # query *would* run hybrid in REAL mode (the classification the
-    # fallback-rate reporting relies on).
-    if mode != ExecutionMode.REAL:
+    # fallback-rate reporting relies on).  Streaming pre-stages execute
+    # in any mode, so the rejection only survives with streaming off.
+    if mode != ExecutionMode.REAL and not streaming:
         return MatchFailure(
             "hybrid pre-stage requires REAL mode (materialized relation)",
             kind="mode",
         )
     tree = plan_relation(bound)
-    stage = ops.PhysicalStage(id="prestage", tree=tree)
+    stage = ops.PhysicalStage(id="prestage", tree=tree, streaming=streaming)
     fill = ops.ValueFill(
         id="value_fill", left_input=stage.id, right_input=None,
         mode="reduce", specs=specs, group_by=list(bound.group_by),

@@ -41,7 +41,7 @@ import numpy as np
 from repro.common.errors import ExecutionError
 from repro.common.timing import STAGE_FILL
 from repro.engine.base import ExecutionMode
-from repro.engine.physical import PhysicalExecutor
+from repro.engine.physical import PhysicalExecutor, pruned_scan_chunks
 from repro.engine.relational import equi_join_count
 from repro.engine.tcudb.codegen import OpEmission
 from repro.engine.tcudb.cost import (
@@ -160,12 +160,17 @@ class ChainValue:
 
     ``indices[binding]`` maps each output row to a row of that binding's
     scanned environment.  ``indices`` is empty when the chain is not
-    materialized (ANALYTIC estimates)."""
+    materialized (ANALYTIC estimates); ``multiplicity[binding]`` then
+    carries, per scanned row of that binding, its exact row count in the
+    unmaterialized intermediate — what lets chain steps past the first
+    price from exact per-step cardinalities instead of unfiltered key
+    counts."""
 
     envs: dict[str, Environment]
     indices: dict[str, np.ndarray]
     n_rows: int
     joined: set[str] = field(default_factory=set)
+    multiplicity: dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def materialized(self) -> bool:
@@ -197,6 +202,9 @@ class JoinOperandsValue:
     right_env: Environment
     right_binding: str
     inner_binding: str
+    # Per-left-scanned-row multiplicity in the unmaterialized chain
+    # (ANALYTIC chain steps); None when the chain is materialized.
+    left_weights: np.ndarray | None = None
 
 
 @dataclass
@@ -231,6 +239,9 @@ class ProductValue:
     count_grid: np.ndarray | None = None
     semantic: bool = False  # extraction defers to exact-key kernels
     empty: bool = False
+    # Chunked numeric join: pairs extracted grid-wise per product chunk
+    # (the full dense product was never materialized at once).
+    pair_indices: tuple[np.ndarray, np.ndarray] | None = None
 
 
 @dataclass
@@ -281,7 +292,14 @@ class TensorOp:
 
 @dataclass
 class TableSource(TensorOp):
-    """Scan one binding and apply its local filter conjuncts."""
+    """Scan one binding and apply its local filter conjuncts.
+
+    With chunked execution on, the scan walks the table's fixed-size row
+    chunks and *prunes* chunks whose per-chunk min/max statistics prove
+    the filters empty — pruned chunks are never touched and never
+    charged, so selective filters over clustered columns get cheaper
+    with data layout, as a real columnar scan would.
+    """
 
     binding: str
 
@@ -294,17 +312,57 @@ class TableSource(TensorOp):
         return OpEmission(
             kind="scan",
             label=f"Scan+Filter({self.binding})",
-            lines=[f"  // host: scan {self.binding}, apply local predicates"],
+            lines=[f"  // host: scan {self.binding} chunk-wise, apply local "
+                   "predicates (stat-pruned)"],
         )
 
     def execute(self, ctx) -> RelationValue:
-        env = Environment.from_table(ctx.bound, self.binding)
         filters = ctx.bound.filters.get(self.binding, [])
-        if filters:
+        if not filters:
+            return RelationValue(
+                env=Environment.from_table(ctx.bound, self.binding)
+            )
+        if ctx.chunk_rows is None:
+            env = Environment.from_table(ctx.bound, self.binding)
             ctx.charge(self, STAGE_FILL,
                        env.n_rows * ctx.host.scan_elem_s * len(filters))
-            env = env.filtered(conjunction_mask(filters, env, ctx.bound))
-        return RelationValue(env=env)
+            return RelationValue(
+                env=env.filtered(conjunction_mask(filters, env, ctx.bound))
+            )
+        return RelationValue(env=self._scan_chunked(ctx, filters))
+
+    def _scan_chunked(self, ctx, filters) -> Environment:
+        binding = self.binding
+        table = ctx.bound.binding(binding).table
+        kept, chunked, name_of = pruned_scan_chunks(
+            ctx.bound, binding, filters, ctx.chunk_rows
+        )
+        scanned = sum(chunk.num_rows for chunk in kept)
+        ctx.charge(self, STAGE_FILL,
+                   scanned * ctx.host.scan_elem_s * len(filters))
+        if len(kept) == chunked.num_chunks:
+            env = Environment.from_table(ctx.bound, binding)
+        elif kept:
+            env = Environment(
+                {
+                    f"{binding}.{lower}": np.concatenate(
+                        [chunk.column(name).data for chunk in kept]
+                    )
+                    for lower, name in name_of.items()
+                },
+                scanned,
+            )
+        else:
+            env = Environment(
+                {
+                    f"{binding}.{lower}": np.array(
+                        [], dtype=table.column(name).data.dtype
+                    )
+                    for lower, name in name_of.items()
+                },
+                0,
+            )
+        return env.filtered(conjunction_mask(filters, env, ctx.bound))
 
 
 @dataclass
@@ -409,9 +467,7 @@ class FoldJoin(TensorOp):
                 "contributes group/factor columns",
                 kind="pattern",
             )
-        positions = np.searchsorted(unique_keys, fact_keys)
-        positions = np.clip(positions, 0, max(unique_keys.size - 1, 0))
-        matched = unique_keys[positions] == fact_keys
+        positions, matched = self._probe_chunked(ctx, unique_keys, fact_keys)
         weights = fact.weights
         gathered = dict(fact.gathered)
         if is_unique:
@@ -431,6 +487,29 @@ class FoldJoin(TensorOp):
         if not matched.all():
             folded = folded.filtered(matched)
         return folded
+
+    @staticmethod
+    def _probe_chunked(ctx, unique_keys: np.ndarray, fact_keys: np.ndarray):
+        """Probe the fold's sorted key domain one fact chunk at a time.
+
+        Chunk-at-a-time probing bounds the per-step temporaries to the
+        chunk size (the morsel contract); concatenating the per-chunk
+        results is bit-identical to the whole-side probe.
+        """
+        chunk = ctx.chunk_rows or max(int(fact_keys.size), 1)
+        positions_parts: list[np.ndarray] = []
+        matched_parts: list[np.ndarray] = []
+        for start in range(0, int(fact_keys.size), chunk):
+            part = fact_keys[start:start + chunk]
+            positions = np.searchsorted(unique_keys, part)
+            positions = np.clip(positions, 0, max(unique_keys.size - 1, 0))
+            positions_parts.append(positions)
+            matched_parts.append(unique_keys[positions] == part)
+        if not positions_parts:
+            empty = np.array([], dtype=np.int64)
+            return empty, np.array([], dtype=bool)
+        return (np.concatenate(positions_parts),
+                np.concatenate(matched_parts))
 
 
 @dataclass
@@ -476,13 +555,16 @@ class IndicatorBuild(TensorOp):
         inner, outer = ((predicate.left, predicate.right)
                         if predicate.right.binding == self.right_binding
                         else (predicate.right, predicate.left))
+        weights = None
         if chain.materialized:
             left_keys = chain.keys_of(inner)
         else:
-            # ANALYTIC chains past the first unmaterialized step: estimate
-            # from the unfiltered inner-side keys (exact per-step counts
-            # are still produced for materialized prefixes).
+            # ANALYTIC chains past the first unmaterialized step: the
+            # chain threads exact per-row multiplicities, so this step
+            # prices from the exact intermediate cardinality instead of
+            # the unfiltered key counts.
             left_keys = chain.envs[inner.binding].lookup(inner.key)
+            weights = chain.multiplicity.get(inner.binding)
         right_keys = right.env.lookup(outer.key)
         domain = union_key_domain(left_keys, right_keys)
         n, m, k = left_keys.size, right_keys.size, domain.k
@@ -493,6 +575,15 @@ class IndicatorBuild(TensorOp):
                 n * ctx.referenced_columns(inner.binding)
                 + m * ctx.referenced_columns(outer.binding)
             )
+        elif weights is not None:
+            # Exact cardinality of the unmaterialized intermediate and of
+            # this step's output (weighted histogram dot product).
+            n = max(int(chain.n_rows), 0)
+            nnz_left = n
+            per_key = np.bincount(domain.left, weights=weights,
+                                  minlength=max(domain.k, 1))
+            pairs = int(round(float(per_key[domain.right].sum())))
+            raw_bytes = 8.0 * (n + m)
         else:
             nnz_left = n
             pairs = mapped_pair_count(domain.left, domain.right, domain.k)
@@ -518,6 +609,7 @@ class IndicatorBuild(TensorOp):
             prepared=prepared, geometry=geometry, feasibility=feasibility,
             pairs=pairs, chain=chain, right_env=right.env,
             right_binding=self.right_binding, inner_binding=inner.binding,
+            left_weights=weights,
         )
 
 
@@ -552,6 +644,11 @@ class ValueFill(TensorOp):
     # Set by the fusion pass: build each side's indicator structure once
     # (shared rows/codes) instead of per-aggregate.
     shared: bool = False
+    # Fused residual-fact mask (fusion pass): the residual conjuncts are
+    # evaluated inside the operand fill — masked fact tuples are never
+    # placed, instead of a separate MaskApply pass over the fact side.
+    epilogue_predicates: list[Predicate] = field(default_factory=list)
+    fused_from: list[str] = field(default_factory=list)
 
     kind = "value_fill"
 
@@ -565,6 +662,9 @@ class ValueFill(TensorOp):
         funcs = ",".join(s.func for s in self.specs) or "-"
         keys = ",".join(c.key for c in self.group_by) or "<global>"
         suffix = " [coo-shared]" if self.shared else ""
+        if self.epilogue_predicates:
+            conds = " AND ".join(str(p) for p in self.epilogue_predicates)
+            suffix += f" epilogue({conds}) fused_from={self.fused_from}"
         return (f"{self.id}: ValueFill[{self.mode}](aggs={funcs}, "
                 f"group_by={keys}){suffix}")
 
@@ -572,6 +672,8 @@ class ValueFill(TensorOp):
         label = f"ValueFill[{self.mode}]"
         if self.shared:
             label += " (shared indicator structure)"
+        if self.epilogue_predicates:
+            label += " +MaskedFill"
         return OpEmission(
             kind="value_fill",
             label=label,
@@ -591,6 +693,18 @@ class ValueFill(TensorOp):
         if isinstance(fact, RelationValue):
             fact = FactValue(env=fact.env,
                              weights=np.ones(fact.env.n_rows), gathered={})
+        if self.epilogue_predicates:
+            # Masked operand fill: residual-fact conjuncts ride the fill
+            # pass — masked tuples are never placed into the operands.
+            ctx.charge(
+                self, "tcu_mask_apply",
+                estimate_mask_apply(ctx.device, fact.n_rows,
+                                    len(self.epilogue_predicates),
+                                    fused=True),
+            )
+            mask = conjunction_mask(self.epilogue_predicates,
+                                    fact.eval_environment(), ctx.bound)
+            fact = fact.filtered(mask)
         b_env = ctx.value(self.right_input).env
         grouped = bool(self.pattern.group_by)
         if fact.env.n_rows == 0 or b_env.n_rows == 0:
@@ -787,9 +901,11 @@ class Gemm(TensorOp):
         prepared = operands.prepared
         if not ctx.driver.use_numeric_join(prepared, ctx.mode):
             return ProductValue(operands=operands, semantic=True)
-        left, right = ctx.driver.join_operand_matrices(prepared)
-        product = ctx.driver._execute_gemm(left, right.T, plan)
-        return ProductValue(operands=operands, dense=product)
+        # The driver chunks the probe rows when the full dense product
+        # would blow the cell budget, extracting nonzeros per product
+        # chunk and accumulating the pair lists grid-wise.
+        rows, cols = ctx.driver._join_pairs_by_matmul(prepared, plan)
+        return ProductValue(operands=operands, pair_indices=(rows, cols))
 
     def _run_grids(self, ctx, operands: AggOperandsValue, plan):
         return ctx.driver._grids_by_matmul(
@@ -902,26 +1018,52 @@ class NonzeroExtract(TensorOp):
         product: ProductValue = ctx.value(self.input)
         operands = product.operands
         chain = operands.chain
-        if product.dense is not None:
+        if product.pair_indices is not None:
+            left_idx, right_idx = product.pair_indices
+        elif product.dense is not None:
             left_idx, right_idx = np.nonzero(product.dense > 0)
         elif ctx.mode == ExecutionMode.REAL:
             left_idx, right_idx = ctx.driver._join_pairs_semantic(
                 operands.prepared
             )
         else:
-            # ANALYTIC: exact count, no materialization (the epilogue
-            # contributes its estimated selectivity).
-            count = ctx.driver._join_count(operands.prepared)
+            # ANALYTIC: exact count, no materialization.  Equi steps also
+            # compute the per-right-row multiplicity of the new
+            # intermediate (a weighted histogram), so the next chain step
+            # prices from exact cardinalities; the epilogue contributes
+            # its estimated selectivity.
+            prepared = operands.prepared
+            right_mult = None
+            if prepared.op == "=":
+                weights = operands.left_weights
+                if weights is None:
+                    weights = np.ones(prepared.left_keys_mapped.size)
+                per_key = np.bincount(
+                    prepared.left_keys_mapped, weights=weights,
+                    minlength=max(prepared.k, 1),
+                )
+                right_mult = per_key[prepared.right_keys_mapped]
+                count = int(round(float(right_mult.sum())))
+            else:
+                count = ctx.driver._join_count(prepared)
             if self.epilogue_predicates:
                 self._charge_epilogue(ctx, count)
-                count = int(count * conjunction_selectivity(
+                selectivity = conjunction_selectivity(
                     self.epilogue_predicates, bound_stats_lookup(ctx.bound)
-                ))
+                )
+                count = int(count * selectivity)
+                if right_mult is not None:
+                    right_mult = right_mult * selectivity
+            multiplicity = (
+                {operands.right_binding: right_mult}
+                if right_mult is not None else {}
+            )
             return ChainValue(
                 envs={**chain.envs, operands.right_binding: operands.right_env},
                 indices={},
                 n_rows=count,
                 joined=chain.joined | {operands.right_binding},
+                multiplicity=multiplicity,
             )
         left_idx = np.asarray(left_idx)
         indices = {
@@ -1137,11 +1279,16 @@ class MaskApply(TensorOp):
         if not chain.materialized:
             # ANALYTIC estimate: per-conjunct selectivities derived from
             # column statistics (0.5 only for conjuncts beyond them).
-            n = int(chain.n_rows * conjunction_selectivity(
+            selectivity = conjunction_selectivity(
                 self.predicates, bound_stats_lookup(ctx.bound)
-            ))
-            return ChainValue(envs=chain.envs, indices={}, n_rows=n,
-                              joined=set(chain.joined))
+            )
+            n = int(chain.n_rows * selectivity)
+            return ChainValue(
+                envs=chain.envs, indices={}, n_rows=n,
+                joined=set(chain.joined),
+                multiplicity={b: m * selectivity
+                              for b, m in chain.multiplicity.items()},
+            )
         env = chain.merged_environment()
         mask = conjunction_mask(self.predicates, env, ctx.bound)
         indices = {b: idx[mask] for b, idx in chain.indices.items()}
@@ -1199,32 +1346,50 @@ class PhysicalStage(TensorOp):
     :class:`~repro.engine.physical.PhysicalExecutor`, charging
     host-executor time, and hands the materialized relation to the TCU
     core (grouped-reduce ValueFill/Gemm).
+
+    With ``streaming`` on (the default since the chunked-storage
+    refactor), the prefix executes morsel-driven — chunk batches pulled
+    through Scan/Filter/Join — which bounds peak intermediates to the
+    chunk size times the join fan-out and, crucially, lets hybrid
+    lowering run in ANALYTIC mode: the pre-stage streams up to
+    ``budget_rows`` output rows instead of refusing with a ``mode``
+    fallback.
     """
 
     tree: LogicalNode
+    streaming: bool = False
+    budget_rows: int = 4_000_000
 
     kind = "physical_stage"
 
     def describe(self) -> str:
         roots = [n.describe() for n in self.tree.walk()]
-        return f"{self.id}: PhysicalStage({' <- '.join(roots[:1])}...)"
+        suffix = " [streaming]" if self.streaming else ""
+        return f"{self.id}: PhysicalStage({' <- '.join(roots[:1])}...)"\
+            + suffix
 
     def emission(self, ctx) -> OpEmission:
+        label = "PhysicalStage (host pre-join"
+        label += ", streamed)" if self.streaming else ")"
         return OpEmission(
-            kind="physical_stage", label="PhysicalStage (host pre-join)",
+            kind="physical_stage", label=label,
             lines=["  // host executor: joins/filters beyond matmul "
-                   "expressiveness; ships the joined relation to the TCU"],
+                   "expressiveness; streams the joined relation to the TCU "
+                   "chunk by chunk"],
         )
 
     def execute(self, ctx) -> RelationValue:
-        if ctx.mode != ExecutionMode.REAL:
+        if ctx.mode != ExecutionMode.REAL and not self.streaming:
             raise FallbackRequired(
                 "hybrid pre-stage requires REAL mode (materialized relation)",
                 kind="mode",
             )
-        executor = PhysicalExecutor(ctx.bound)
+        executor = PhysicalExecutor(ctx.bound, chunk_rows=ctx.chunk_rows)
         try:
-            env = executor._run_relation(self.tree)
+            if self.streaming:
+                env = self._stream_prefix(ctx, executor)
+            else:
+                env = executor._run_relation(self.tree)
         except ExecutionError as error:
             raise FallbackRequired(
                 f"hybrid pre-stage exceeded materialization budget: {error}",
@@ -1242,6 +1407,30 @@ class PhysicalStage(TensorOp):
             estimate_physical_stage(ctx.host, n_input, env.n_rows, n_joins),
         )
         return RelationValue(env=env)
+
+    def _stream_prefix(self, ctx, executor: PhysicalExecutor) -> Environment:
+        """Pull the prefix through the streaming executor, bounded by the
+        row budget in ANALYTIC mode (REAL keeps the pair-limit bound)."""
+        chunks: list[Environment] = []
+        total = 0
+        budget = (self.budget_rows
+                  if ctx.mode != ExecutionMode.REAL else None)
+        for env in executor.stream_relation(self.tree):
+            total += env.n_rows
+            if budget is not None and total > budget:
+                raise FallbackRequired(
+                    f"streaming pre-stage exceeded {budget} rows in "
+                    f"{ctx.mode.value} mode",
+                    kind="cost",
+                )
+            chunks.append(env)
+        if not chunks:
+            return Environment({}, 0)
+        arrays = {
+            key: np.concatenate([chunk.arrays[key] for chunk in chunks])
+            for key in chunks[0].arrays
+        }
+        return Environment(arrays, total)
 
 
 @dataclass

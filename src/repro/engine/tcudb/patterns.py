@@ -254,6 +254,12 @@ def _match_join_project(bound: BoundQuery) -> TCUPattern | MatchFailure:
 
 
 def _match_join_agg(bound: BoundQuery) -> TCUPattern | MatchFailure:
+    if getattr(bound, "group_exprs", {}):
+        # Computed GROUP BY keys live on no table side of the star; the
+        # hybrid pipeline groups on the projected expression instead.
+        return MatchFailure(
+            "GROUP BY expressions are beyond the star pattern"
+        )
     joins = list(bound.join_predicates)
     non_equi = [j for j in joins if not j.is_equi]
     if non_equi:

@@ -80,6 +80,16 @@ class ProgramContext:
 
     # -- helpers shared with the former engine monoliths ----------------- #
 
+    @property
+    def chunk_rows(self) -> int | None:
+        """Effective chunk size for morsel-driven operators, or ``None``
+        when chunked execution is off (the legacy contiguous path)."""
+        if not getattr(self.options, "chunked_execution", True):
+            return None
+        from repro.storage.chunk import chunk_rows_policy
+
+        return chunk_rows_policy(getattr(self.options, "chunk_rows", None))
+
     def referenced_columns(self, binding: str) -> int:
         return max(
             len({c.column for c in self.bound.resolution.values()

@@ -33,6 +33,13 @@ from repro.storage.table import Table
 from repro.storage.types import DataType
 
 
+#: Pseudo-binding of computed GROUP BY keys (``GROUP BY d_year % 10``).
+#: ``#`` cannot appear in a SQL identifier, so the binding never collides
+#: with a FROM-clause table; the planner's ``Compute`` node materializes
+#: the expression under ``#group.gN`` before aggregation.
+COMPUTED_GROUP_BINDING = "#group"
+
+
 @dataclass(frozen=True)
 class BoundColumn:
     """A column reference resolved to a unique table binding."""
@@ -85,6 +92,10 @@ class BoundQuery:
     # (e.g. cross-table ORs); applied after the joins.
     residuals: list[Predicate] = field(default_factory=list)
     having: list[Predicate] = field(default_factory=list)
+    # Computed GROUP BY keys: ``#group.gN`` key -> bound expression.  The
+    # matching BoundColumn (binding COMPUTED_GROUP_BINDING) appears in
+    # ``group_by``; the planner projects the expression before Aggregate.
+    group_exprs: dict[str, Expr] = field(default_factory=dict)
 
     def binding(self, name: str) -> BoundTable:
         for bound in self.tables:
@@ -154,7 +165,7 @@ class _Binder:
         join_predicates, filters, residuals = self._classify_predicates(
             statement
         )
-        group_by = [self._bind_group_expr(e) for e in statement.group_by]
+        group_by, group_exprs = self._bind_group_by(statement)
         having = [self._bind_having(p) for p in statement.having]
         order_by = [
             OrderItem(
@@ -179,6 +190,7 @@ class _Binder:
             limit=statement.limit,
             residuals=residuals,
             having=having,
+            group_exprs=group_exprs,
         )
 
     # -- tables ------------------------------------------------------------ #
@@ -240,11 +252,39 @@ class _Binder:
                 self._resolve_column(node)
         return expr
 
-    def _bind_group_expr(self, expr: Expr) -> BoundColumn:
-        expr = substitute_parameters(expr, self._params)
-        if not isinstance(expr, ColumnRef):
-            raise BindError("GROUP BY supports plain column references only")
-        return self._resolve_column(expr)
+    def _bind_group_by(
+        self, statement: SelectStatement
+    ) -> tuple[list[BoundColumn], dict[str, Expr]]:
+        """Bind GROUP BY keys: plain columns resolve directly, computed
+        expressions become ``#group.gN`` columns the planner projects
+        before aggregation (the expression-GROUP-BY rewrite)."""
+        group_by: list[BoundColumn] = []
+        group_exprs: dict[str, Expr] = {}
+        for expr in statement.group_by:
+            expr = substitute_parameters(expr, self._params)
+            if isinstance(expr, ColumnRef):
+                group_by.append(self._resolve_column(expr))
+                continue
+            for node in expr.walk():
+                if isinstance(node, AggregateCall):
+                    raise BindError(
+                        "aggregate calls cannot appear in GROUP BY"
+                    )
+                if isinstance(node, Literal) and isinstance(node.value, str):
+                    raise BindError(
+                        "string literals in GROUP BY expressions are not "
+                        "supported"
+                    )
+                if isinstance(node, ColumnRef):
+                    self._resolve_column(node)
+            column = BoundColumn(
+                binding=COMPUTED_GROUP_BINDING,
+                column=f"g{len(group_exprs)}",
+                dtype=DataType.FLOAT64,
+            )
+            group_by.append(column)
+            group_exprs[column.key] = expr
+        return group_by, group_exprs
 
     # -- select list ------------------------------------------------------------ #
 

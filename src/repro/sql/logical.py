@@ -73,6 +73,27 @@ class Filter(LogicalNode):
 
 
 @dataclass
+class Compute(LogicalNode):
+    """Extend the relation with computed columns (expression GROUP BY).
+
+    Each ``(key, expr)`` pair evaluates a scalar expression over the
+    input rows and exposes it under ``key`` (a ``#group.gN`` binding),
+    so the Aggregate above can group on arbitrary expressions while the
+    grouping kernels keep seeing plain environment columns.
+    """
+
+    input: LogicalNode
+    computed: list[tuple[str, "object"]] = field(default_factory=list)
+
+    def children(self) -> list[LogicalNode]:
+        return [self.input]
+
+    def describe(self) -> str:
+        cols = ", ".join(f"{key} := {expr}" for key, expr in self.computed)
+        return f"Compute({cols})"
+
+
+@dataclass
 class Aggregate(LogicalNode):
     """Group-by + aggregate evaluation, with optional HAVING conjuncts."""
 

@@ -12,6 +12,7 @@ from repro.common.errors import PlanError
 from repro.sql.binder import BoundQuery, JoinPredicate
 from repro.sql.logical import (
     Aggregate,
+    Compute,
     Filter,
     Join,
     Limit,
@@ -33,6 +34,10 @@ def plan_relation(bound: BoundQuery) -> LogicalNode:
     node = _plan_joins(bound)
     if bound.residuals:
         node = Filter(input=node, predicates=list(bound.residuals))
+    if bound.group_exprs:
+        # Expression GROUP BY: project the computed group keys before
+        # the Aggregate so grouping kernels see plain columns.
+        node = Compute(input=node, computed=list(bound.group_exprs.items()))
     return node
 
 
@@ -134,10 +139,20 @@ def _validate_group_select(bound: BoundQuery) -> None:
         walk_predicate_exprs,
     )
 
+    from repro.sql.ast_nodes import BinaryOp
+
     group_keys = {column.key for column in bound.group_by}
+    group_exprs = set(bound.group_exprs.values())
 
     def check(expr, where: str) -> None:
         if any(isinstance(n, AggregateCall) for n in expr.walk()):
+            return
+        if expr in group_exprs:
+            # The select expression *is* a computed GROUP BY key.
+            return
+        if isinstance(expr, BinaryOp):
+            check(expr.left, where)
+            check(expr.right, where)
             return
         for node in expr.walk():
             if isinstance(node, ColumnRef):

@@ -37,6 +37,10 @@ class Catalog:
     def stats(self, table_name: str, column_name: str) -> ColumnStats:
         return self.get(table_name).stats(column_name)
 
+    def chunked(self, name: str, chunk_rows: int | None = None):
+        """A table's chunked partition (cached on the table itself)."""
+        return self.get(name).chunked(chunk_rows)
+
     def table_names(self) -> list[str]:
         return sorted(self._tables)
 

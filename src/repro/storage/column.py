@@ -84,6 +84,10 @@ class Column:
         """Gather rows by position."""
         return Column(self._data[indices], self.dtype, self.dictionary)
 
+    def slice(self, start: int, stop: int) -> "Column":
+        """Zero-copy contiguous row range (chunked storage's view unit)."""
+        return Column(self._data[start:stop], self.dtype, self.dictionary)
+
     def filter(self, mask: np.ndarray) -> "Column":
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != self._data.shape:

@@ -163,6 +163,120 @@ def predicate_selectivity(predicate, stats_of) -> float:
     return DEFAULT_SELECTIVITY
 
 
+def _bound_literal(expr, ref, encode) -> float | None:
+    """Literal value translated into the compared column's physical
+    domain (dictionary codes for strings) when an encoder is supplied."""
+    from repro.sql.ast_nodes import Literal
+
+    if not isinstance(expr, Literal):
+        return None
+    if isinstance(expr.value, str):
+        if encode is None or ref is None:
+            return None
+        return float(encode(ref, expr.value))
+    return float(expr.value)
+
+
+def predicate_can_match(predicate, stats_of, encode=None) -> bool:
+    """Chunk-level stat pruning: can any row with these min/max
+    statistics satisfy the predicate?
+
+    Returns ``False`` only when the statistics *prove* the predicate
+    empty over the chunk — the conservative direction, so pruning never
+    drops a qualifying row.  ``stats_of(expr)`` resolves a plain
+    column-reference expression to the chunk's :class:`ColumnStats`
+    (``None`` for anything else); ``encode(ref, value)`` translates
+    string literals through the column's dictionary.
+    """
+    from repro.sql.ast_nodes import (
+        Between,
+        Comparison,
+        Conjunction,
+        Disjunction,
+        InList,
+        Negation,
+    )
+
+    if isinstance(predicate, Comparison):
+        left_stats = stats_of(predicate.left)
+        right_stats = stats_of(predicate.right)
+        if left_stats is not None and right_stats is None:
+            stats = left_stats
+            ref = predicate.left
+            value = _bound_literal(predicate.right, ref, encode)
+            op = predicate.op
+        elif right_stats is not None and left_stats is None:
+            stats = right_stats
+            ref = predicate.right
+            value = _bound_literal(predicate.left, ref, encode)
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(
+                predicate.op, predicate.op
+            )
+        else:  # column-vs-column or literal-vs-literal: no pruning
+            return True
+        if value is None or stats.n_rows == 0:
+            return True
+        lo, hi = stats.min_value, stats.max_value
+        if op == "=":
+            return lo <= value <= hi
+        if op == "<":
+            return lo < value
+        if op == "<=":
+            return lo <= value
+        if op == ">":
+            return hi > value
+        if op == ">=":
+            return hi >= value
+        return True  # <> / != prunes nothing from min/max alone
+    if isinstance(predicate, Between):
+        stats = stats_of(predicate.expr)
+        if stats is None or stats.n_rows == 0:
+            return True
+        low = _bound_literal(predicate.low, predicate.expr, encode)
+        high = _bound_literal(predicate.high, predicate.expr, encode)
+        if low is not None and stats.max_value < low:
+            return False
+        if high is not None and stats.min_value > high:
+            return False
+        return True
+    if isinstance(predicate, InList):
+        stats = stats_of(predicate.expr)
+        if stats is None or stats.n_rows == 0:
+            return True
+        values = [
+            _bound_literal(literal, predicate.expr, encode)
+            for literal in predicate.values
+        ]
+        if any(v is None for v in values):
+            return True
+        return any(
+            stats.min_value <= v <= stats.max_value for v in values
+        )
+    if isinstance(predicate, Negation):
+        # Proving the complement empty needs an "always true" analysis;
+        # min/max statistics cannot provide it conservatively.
+        return True
+    if isinstance(predicate, Conjunction):
+        return all(
+            predicate_can_match(part, stats_of, encode)
+            for part in predicate.parts
+        )
+    if isinstance(predicate, Disjunction):
+        return any(
+            predicate_can_match(arm, stats_of, encode)
+            for arm in predicate.arms
+        )
+    return True
+
+
+def conjunction_can_match(predicates, stats_of, encode=None) -> bool:
+    """AND of :func:`predicate_can_match` over a conjunct list."""
+    return all(
+        predicate_can_match(predicate, stats_of, encode)
+        for predicate in predicates
+    )
+
+
 def conjunction_selectivity(predicates, stats_of) -> float:
     """Combined selectivity of a conjunct list (independence assumed),
     floored at :data:`MIN_SELECTIVITY` so estimates never hard-zero."""

@@ -33,6 +33,7 @@ class Table:
         self.name = name
         self._columns: dict[str, Column] = dict(columns)
         self._stats: dict[str, ColumnStats] = {}
+        self._chunked: dict[int, object] = {}  # chunk_rows -> ChunkedTable
 
     # -- constructors ------------------------------------------------------ #
 
@@ -78,6 +79,21 @@ class Table:
         if name not in self._stats:
             self._stats[name] = compute_stats(self.column(name))
         return self._stats[name]
+
+    def chunked(self, chunk_rows: int | None = None):
+        """This table partitioned into fixed-size row chunks.
+
+        Chunks are zero-copy views, so the partitioning is cached per
+        chunk size (tables are immutable); per-chunk statistics build
+        lazily inside the returned
+        :class:`~repro.storage.chunk.ChunkedTable`.
+        """
+        from repro.storage.chunk import ChunkedTable, chunk_rows_policy
+
+        rows = chunk_rows_policy(chunk_rows)
+        if rows not in self._chunked:
+            self._chunked[rows] = ChunkedTable(self, rows)
+        return self._chunked[rows]
 
     # -- relational operations ------------------------------------------------ #
 

@@ -53,7 +53,10 @@ class TestScaleProfiles:
         assert max(smoke.micro_sizes) < max(paper.micro_sizes)
         assert smoke.ssb_rows_per_sf < paper.ssb_rows_per_sf
         assert max(smoke.fig13_sizes) < max(paper.fig13_sizes)
-        assert smoke.verify and not paper.verify
+        # Both profiles verify since the chunked-storage refactor; smoke
+        # replays the exact catalogs, paper replays sampled + streaming.
+        assert smoke.verify and smoke.verify_policy == "full"
+        assert paper.verify and paper.verify_policy == "stream"
 
     def test_profile_to_dict_roundtrips_json(self):
         data = get_profile("smoke").to_dict()

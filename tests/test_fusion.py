@@ -125,9 +125,11 @@ class TestRewriteRules:
         assert extract.epilogue_predicates
         assert "mask_residual" in extract.fused_from
 
-    def test_residual_fact_mask_not_fused(self, catalog):
-        # residual-fact masks run before the aggregate product; they are
-        # not a GEMM result hook and must survive fusion unchanged.
+    def test_residual_fact_mask_fuses_into_value_fill(self, catalog):
+        # residual-fact masks run before the aggregate product; the
+        # residual-fill rule folds them into the ValueFill as a masked
+        # operand fill (masked tuples are never placed), removing the
+        # last standalone mask operator from the PR-4 fusion list.
         # (b carries the residual and gets folded; c stays as the B side.)
         sql = ("SELECT SUM(a.val), COUNT(*), c.g FROM a, b, c "
                "WHERE a.id = b.id AND a.w = c.w "
@@ -135,7 +137,18 @@ class TestRewriteRules:
                "GROUP BY c.g")
         program = lowered_program(catalog, sql, fusion=True)
         masks = [op for op in program.ops if isinstance(op, ops.MaskApply)]
-        assert any(m.role == "residual-fact" for m in masks)
+        assert not any(m.role == "residual-fact" for m in masks)
+        fill = next(op for op in program.ops
+                    if isinstance(op, ops.ValueFill))
+        assert fill.epilogue_predicates
+        assert "mask_residual" in fill.fused_from
+        # The fill's input was rewired onto the mask's producer.
+        assert fill.left_input != "mask_residual"
+        unfused = lowered_program(catalog, sql, fusion=False)
+        assert any(
+            m.role == "residual-fact"
+            for m in unfused.ops if isinstance(m, ops.MaskApply)
+        )
 
     def test_fusion_off_leaves_program_unfused(self, catalog):
         sql = ("SELECT SUM(a.val), COUNT(*), b.g FROM a, b "

@@ -1,13 +1,18 @@
 """Seeded property-based fuzzing: TCUDB-with-fallback vs the oracle.
 
 A small random query generator over the SSB schema emits ~200 queries —
-single-table and star-join shapes, random filters (comparisons, BETWEEN,
-IN / NOT IN lists, NOT-wrapped conjuncts, single-table ORs and
-**cross-table ORs** that exercise the residual ``MaskApply`` path),
-SUM/COUNT/AVG/MIN/MAX aggregates with arithmetic arguments, GROUP BY,
-HAVING (including negated HAVING), ORDER BY and LIMIT.  Every query runs
-through TCUDB (native, hybrid or fallback) and ReferenceEngine;
-mismatches fail with the reproducing SQL in the message.
+single-table and star-join shapes, **chain joins** (dimension-to-
+dimension links that break the star, exercising multiway lowering and
+the hybrid pre-stage), **non-equi join predicates** (<, <=, >, >=
+between tables, the comparison-matrix encoding), random filters
+(comparisons, BETWEEN, IN / NOT IN lists, NOT-wrapped conjuncts,
+single-table ORs and **cross-table ORs** that exercise the residual
+``MaskApply`` path), SUM/COUNT/AVG/MIN/MAX aggregates with arithmetic
+arguments, GROUP BY, HAVING (including negated HAVING), ORDER BY and
+LIMIT.  Every query runs through TCUDB (native, hybrid or fallback) and
+ReferenceEngine; mismatches fail with the reproducing SQL in the
+message, and per-shape path assertions pin which execution paths each
+new shape must reach.
 
 The RNG is fixed through :func:`repro.common.rng.make_rng`, so a failure
 reproduces by seed + query index alone.
@@ -105,10 +110,16 @@ AGG_FUNCS = ["sum", "count", "avg", "min", "max"]
 
 
 class QueryGenerator:
-    """Draws random-but-valid SQL over the SSB schema."""
+    """Draws random-but-valid SQL over the SSB schema.
+
+    ``last_shape`` records which structural shape the most recent
+    ``generate()`` call drew ("single" | "star" | "chain" | "nonequi"),
+    so the fuzz loop can assert per-shape execution paths.
+    """
 
     def __init__(self, rng: np.random.Generator):
         self.rng = rng
+        self.last_shape = ""
 
     def _choice(self, options):
         return options[int(self.rng.integers(0, len(options)))]
@@ -205,9 +216,56 @@ class QueryGenerator:
     # -- query shapes ---------------------------------------------------- #
 
     def generate(self) -> str:
-        if self.rng.random() < 0.35:
+        roll = self.rng.random()
+        if roll < 0.10:
+            self.last_shape = "chain"
+            return self._chain_join()
+        if roll < 0.20:
+            self.last_shape = "nonequi"
+            return self._nonequi_join()
+        if roll < 0.48:
+            self.last_shape = "single"
             return self._single_table()
+        self.last_shape = "star"
         return self._star_join(n_dims=int(self.rng.integers(1, 4)))
+
+    def _chain_join(self) -> str:
+        """Joins that chain through a dimension instead of fanning out
+        of the fact table — beyond the star pattern (multiway lowering
+        for projections, hybrid pre-stage for aggregates)."""
+        aggregate = self.rng.random() < 0.6
+        if self.rng.random() < 0.5:
+            tables = ["lineorder", "customer", "supplier"]
+            joins = ["lo_custkey = c_custkey", "c_city = s_city"]
+            group_tables = ["customer", "supplier"]
+        else:
+            tables = ["customer", "supplier"]
+            joins = [f"c_{self._choice(['city', 'nation'])} = "
+                     f"s_{self._choice(['city', 'nation'])}"]
+            # Mismatched levels (city vs nation) produce empty joins;
+            # regenerate as the matching pair.
+            left, right = joins[0].split(" = ")
+            if left[2:] != right[2:]:
+                level = left[2:]
+                joins = [f"c_{level} = s_{level}"]
+            group_tables = ["customer", "supplier"]
+        return self._assemble(
+            tables=tables, joins=joins, group_tables=group_tables,
+            aggregate=aggregate,
+        )
+
+    def _nonequi_join(self) -> str:
+        """A <, <=, >, >= join predicate between two dimensions: the
+        Section-3.4 comparison-matrix encoding (JOIN_2WAY) for
+        projections, hybrid for aggregates."""
+        op = self._choice(["<", "<=", ">", ">="])
+        aggregate = self.rng.random() < 0.5
+        return self._assemble(
+            tables=["customer", "supplier"],
+            joins=[f"c_custkey {op} s_suppkey"],
+            group_tables=["customer"],
+            aggregate=aggregate,
+        )
 
     def _single_table(self) -> str:
         if self.rng.random() < 0.6:
@@ -313,21 +371,29 @@ def fuzz_engines():
 
 def test_fuzzed_queries_match_oracle(fuzz_engines):
     """~200 random queries: TCUDB (native, hybrid or fallback) equals the
-    oracle."""
+    oracle, and every structural shape reaches its expected paths."""
     generator = QueryGenerator(make_rng(FUZZ_SEED))
     native = hybrid = fallback = 0
+    shape_counts: dict[str, int] = {}
+    shape_paths: dict[str, set] = {}
     failures: list[str] = []
     for index in range(N_QUERIES):
         sql = generator.generate()
+        shape = generator.last_shape
+        shape_counts[shape] = shape_counts.get(shape, 0) + 1
         try:
             oracle = fuzz_engines["reference"].execute(sql)
             tcu = fuzz_engines["tcudb"].execute(sql)
             if tcu.extra.get("fallback_reason"):
                 fallback += 1
+                path = "fallback"
             elif tcu.extra.get("executed_by") == "TCU-hybrid":
                 hybrid += 1
+                path = "hybrid"
             else:
                 native += 1
+                path = "native"
+            shape_paths.setdefault(shape, set()).add(path)
             assert_results_match(
                 tcu, oracle, rel=TCU_REL,
                 context=f"fuzz #{index}: {sql}",
@@ -348,6 +414,13 @@ def test_fuzzed_queries_match_oracle(fuzz_engines):
     assert native >= 20, f"only {native} fuzzed queries ran natively"
     assert hybrid >= 10, f"only {hybrid} fuzzed queries ran hybrid"
     assert fallback >= 20, f"only {fallback} fuzzed queries fell back"
+    # The new shapes must occur and reach their expected paths: chain
+    # aggregates run through the hybrid pre-stage, non-equi projections
+    # through the native comparison-matrix join.
+    assert shape_counts.get("chain", 0) >= 8, shape_counts
+    assert shape_counts.get("nonequi", 0) >= 8, shape_counts
+    assert "hybrid" in shape_paths.get("chain", set()), shape_paths
+    assert "native" in shape_paths.get("nonequi", set()), shape_paths
 
 
 def test_fuzzer_is_deterministic():
