@@ -1,0 +1,38 @@
+"""Morsel-parallel worker scaling (docs/architecture.md § Parallel
+morsels & serving)."""
+
+import os
+
+from repro.bench import run_concurrency
+from repro.datasets.ssb import ssb_catalog
+from repro.engine.tcudb import TCUDBEngine, TCUDBOptions
+
+
+def test_concurrency_scaling(print_series, benchmark, bench_profile,
+                             verifier):
+    result = run_concurrency(profile=bench_profile, verifier=verifier)
+    print_series(result)
+    # The workers=1 anchor of each series is exactly 1.0 by construction.
+    for engine in result.engines():
+        assert result.find("workers=1", engine).seconds == 1.0
+    # The invariants the experiment checks on every run must hold: zero
+    # parallel-vs-sequential row divergences, worker-invariant simulated
+    # seconds.
+    invariants = [n for n in result.notes if "divergences" in n]
+    assert invariants and "divergences: 0" in invariants[0]
+    assert "worker-invariant: True" in invariants[0]
+    # Speedup > 1.0 is a *host* property (needs cpu_count > workers), so
+    # it is asserted only where the hardware can deliver it.
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        best = max(p.seconds for p in result.points
+                   if p.config != "workers=1")
+        assert best > 1.0, "multi-core host but no parallel speedup"
+    catalog = ssb_catalog(scale_factor=1,
+                          rows_per_sf=bench_profile.concurrency_rows,
+                          seed=31)
+    engine = TCUDBEngine(catalog, options=TCUDBOptions(
+        chunk_rows=bench_profile.concurrency_chunk_rows, workers=2))
+    from repro.bench.exp_concurrency import JOIN_AGG_SQL
+
+    benchmark(lambda: engine.execute(JOIN_AGG_SQL))

@@ -94,6 +94,10 @@ class ExperimentResult:
     # the perf-regression gate), "percent" (error rates), "count"
     # (dataset shapes) or "ratio" (speedup factors).
     unit: str = "seconds"
+    # True when the point values derive from *host* wall-clock (e.g. the
+    # concurrency worker-scaling ratios): machine-dependent, so the
+    # regression gate skips value-drift warnings for this experiment.
+    host_measured: bool = False
 
     def add(
         self,
@@ -218,6 +222,7 @@ class ExperimentResult:
             "experiment_id": self.experiment_id,
             "title": self.title,
             "unit": self.unit,
+            "host_measured": self.host_measured,
             "points": [point.to_dict() for point in self.points],
             "notes": list(self.notes),
             "fidelity_geomean": geometric_mean_ratio(self),
@@ -234,6 +239,7 @@ class ExperimentResult:
             points=[SeriesPoint.from_dict(p) for p in data.get("points", [])],
             notes=list(data.get("notes", [])),
             unit=data.get("unit", "seconds"),
+            host_measured=bool(data.get("host_measured", False)),
         )
 
     # -- rendering --------------------------------------------------------- #

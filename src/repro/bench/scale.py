@@ -74,6 +74,13 @@ class ScaleProfile:
     # per-aggregate redundancy dominates the fixed query overhead).
     fusion_rows: int = 20_000
     fusion_reps: int = 3
+    # Concurrency experiment: worker counts for the morsel-parallel
+    # scaling curve, SSB generator rows, morsel size and host-timing
+    # repeats (REAL mode; the value reported is a host speedup ratio).
+    concurrency_workers: tuple[int, ...] = (1, 2, 4)
+    concurrency_rows: int = 20_000
+    concurrency_chunk_rows: int = 2048
+    concurrency_reps: int = 3
 
     def to_dict(self) -> dict:
         out = {}
@@ -115,6 +122,10 @@ SMOKE = ScaleProfile(
     ablation_distincts=(16, 16384),
     fusion_rows=20_000,
     fusion_reps=3,
+    concurrency_workers=(1, 2, 4),
+    concurrency_rows=8_000,
+    concurrency_chunk_rows=1024,
+    concurrency_reps=2,
 )
 
 #: Beyond-paper sweeps for the cost models (analytic-only).
@@ -139,6 +150,10 @@ STRESS = ScaleProfile(
     ablation_distincts=(64, 1024, 32768),
     fusion_rows=60_000,
     fusion_reps=3,
+    concurrency_workers=(1, 2, 4, 8),
+    concurrency_rows=40_000,
+    concurrency_chunk_rows=2048,
+    concurrency_reps=3,
 )
 
 PROFILES: dict[str, ScaleProfile] = {

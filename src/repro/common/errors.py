@@ -92,5 +92,14 @@ class ExecutionError(ReproError):
     """A physical operator failed at run time."""
 
 
+class QueryCancelled(ExecutionError):
+    """The query's cancellation token fired (explicit cancel or a
+    deadline/budget expiry) and execution stopped cooperatively."""
+
+
+class AdmissionError(ReproError):
+    """The serving front-end refused a query (admission queue full)."""
+
+
 class UnsupportedQueryError(ReproError):
     """The query is valid SQL but outside the engine's supported subset."""

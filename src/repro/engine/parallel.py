@@ -1,0 +1,157 @@
+"""Worker pool for parallel morsel execution.
+
+TQP ("Query Processing on Tensor Computation Runtimes") distributes a
+query by running partition-local computation on every worker and merging
+the partials with an allreduce-style aggregation step.  This module is
+the single-host version of that shape: a thread pool fans *independent
+chunks* of a morsel-driven operator across N workers and hands the
+results back **in submission order**, so every merge point (streaming
+aggregation partials, grid accumulation, pair concatenation) consumes
+exactly the sequence the sequential executor would have produced —
+parallel output stays bit-identical to sequential.
+
+Threads (not processes) are the right pool here: the chunk kernels are
+NumPy calls that release the GIL, and the chunks are zero-copy views of
+shared catalog arrays that processes would have to serialize.
+
+:func:`workers_policy` mirrors :func:`repro.storage.chunk.chunk_rows_policy`:
+an explicit override wins, then the ``REPRO_WORKERS`` environment knob,
+then 1 (sequential).  CI pins ``REPRO_WORKERS`` so test runs stay
+deterministic in their scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.common.errors import ConfigError, QueryCancelled
+
+#: Hard ceiling on the pool width: beyond this, per-chunk dispatch
+#: overhead dominates any conceivable chunk kernel.
+MAX_WORKERS = 64
+
+
+def workers_policy(override: int | None = None) -> int:
+    """The effective worker count: an explicit override, the
+    ``REPRO_WORKERS`` environment knob, or 1 (sequential)."""
+    if override is not None:
+        if override <= 0:
+            raise ConfigError(f"worker count must be positive, got {override}")
+        return min(int(override), MAX_WORKERS)
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return workers_policy(int(env))
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_WORKERS must be a positive integer, got {env!r}"
+            ) from None
+    return 1
+
+
+class CancellationToken:
+    """Cooperative cancellation shared between a query and its owner.
+
+    Operators poll :meth:`raise_if_cancelled` at chunk boundaries; the
+    owner (a serving session, a timeout watchdog) flips the token with
+    :meth:`cancel`.  An optional deadline (host wall-clock seconds)
+    makes the token self-firing: the first poll past the deadline
+    cancels.
+    """
+
+    def __init__(self, deadline_s: float | None = None):
+        self._event = threading.Event()
+        self._reason = "cancelled"
+        self._deadline = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self._reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        if self._event.is_set():
+            return True
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self.cancel("time budget exceeded")
+            return True
+        return False
+
+    @property
+    def reason(self) -> str:
+        return self._reason
+
+    def raise_if_cancelled(self) -> None:
+        if self.cancelled:
+            raise QueryCancelled(f"query cancelled: {self._reason}")
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    workers: int,
+    token: CancellationToken | None = None,
+) -> Iterator:
+    """Apply ``fn`` to every item on a worker pool, yielding results in
+    **submission order** (the merge-determinism contract).
+
+    In-flight work is bounded to ``2 * workers`` items so a slow
+    consumer never forces the whole result sequence to materialize.  A
+    worker exception (or a cancelled token) cancels the remaining items
+    and re-raises on the yield of the failing item.  ``workers <= 1``
+    degenerates to a plain ordered map with no pool.
+    """
+    if token is not None:
+        token.raise_if_cancelled()
+    if workers <= 1:
+        for item in items:
+            if token is not None:
+                token.raise_if_cancelled()
+            yield fn(item)
+        return
+
+    def call(item):
+        if token is not None:
+            token.raise_if_cancelled()
+        return fn(item)
+
+    window = 2 * workers
+    pending: deque = deque()
+    iterator = iter(items)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        try:
+            exhausted = False
+            while True:
+                while not exhausted and len(pending) < window:
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.append(pool.submit(call, item))
+                if not pending:
+                    break
+                if token is not None:
+                    token.raise_if_cancelled()
+                yield pending.popleft().result()
+        except BaseException:
+            if token is not None:
+                token.cancel("aborted by a failed sibling chunk")
+            for future in pending:
+                future.cancel()
+            raise
+
+
+__all__ = [
+    "MAX_WORKERS",
+    "CancellationToken",
+    "parallel_map",
+    "workers_policy",
+]

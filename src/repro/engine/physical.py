@@ -22,9 +22,16 @@ through these helpers.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.common.errors import BindError, ExecutionError
+from repro.engine.parallel import (
+    CancellationToken,
+    parallel_map,
+    workers_policy,
+)
 from repro.sql.ast_nodes import (
     AggregateCall,
     BinaryOp,
@@ -198,12 +205,25 @@ def group_aggregate(
     if call.func == "min":
         out = np.full(n_groups, np.inf)
         np.minimum.at(out, group_ids, values)
-        return out
+        return _zero_empty_groups(out, group_ids, n_groups)
     if call.func == "max":
         out = np.full(n_groups, -np.inf)
         np.maximum.at(out, group_ids, values)
-        return out
+        return _zero_empty_groups(out, group_ids, n_groups)
     raise ExecutionError(f"unsupported aggregate {call.func!r}")
+
+
+def _zero_empty_groups(out: np.ndarray, group_ids: np.ndarray,
+                       n_groups: int) -> np.ndarray:
+    """Replace the ±inf MIN/MAX sentinels of row-less groups with 0.0.
+
+    Only the single global group of an ungrouped aggregate over zero
+    rows can be row-less (grouped group ids come from the present
+    rows); this storage model has no NULLs, so that row reports 0.0.
+    """
+    counts = np.bincount(group_ids, minlength=n_groups)
+    out[counts == 0] = 0.0
+    return out
 
 
 _ARITH_OPS = {
@@ -354,8 +374,11 @@ def build_group_context(
         representatives[group_ids] = np.arange(group_ids.size)
     else:
         group_ids = np.zeros(env.n_rows, dtype=np.int64)
-        n_groups = 1 if env.n_rows else 0
-        representatives = np.zeros(max(n_groups, 1), dtype=np.int64)
+        # An ungrouped aggregate always produces exactly one row — over
+        # zero input rows that row is COUNT=0 and SUM/AVG/MIN/MAX=0.0
+        # (no NULLs in this storage model).
+        n_groups = 1
+        representatives = np.zeros(1, dtype=np.int64)
     return GroupContext(bound, env, group_ids, n_groups, representatives,
                         group_by)
 
@@ -530,16 +553,32 @@ class PhysicalExecutor:
     ``pair_limit`` bounds join materialization (cumulative across
     chunks on the streaming path) so runaway fuzzed queries fail loudly
     instead of exhausting memory.
+
+    ``workers`` > 1 fans independent chunks of the streaming path
+    across a thread pool (``None`` takes the ``REPRO_WORKERS`` policy).
+    Chunks are processed by workers but *merged in submission order*,
+    so the parallel output — and every floating-point accumulation
+    order behind it — is bit-identical to the sequential run.
+    ``cancel_token`` is polled at every chunk boundary for cooperative
+    cancellation (see :class:`~repro.engine.parallel.CancellationToken`).
     """
 
     def __init__(self, bound: BoundQuery, pair_limit: int = 20_000_000,
-                 chunk_rows: int | None = None):
+                 chunk_rows: int | None = None,
+                 workers: int | None = None,
+                 cancel_token: CancellationToken | None = None):
         self.bound = bound
         self.pair_limit = pair_limit
         self.chunk_rows = chunk_rows
+        self.workers = workers_policy(workers)
+        self.cancel_token = cancel_token
         #: chunks skipped by stat pruning in the last streaming run
         self.chunks_pruned = 0
         self.chunks_scanned = 0
+
+    def _check_cancelled(self) -> None:
+        if self.cancel_token is not None:
+            self.cancel_token.raise_if_cancelled()
 
     # -- relational operators (return environments) ---------------------- #
 
@@ -617,6 +656,7 @@ class PhysicalExecutor:
 
     def run(self, tree: LogicalNode) -> tuple[list[np.ndarray], list[str]]:
         """Execute the plan; returns fully ordered/limited output arrays."""
+        self._check_cancelled()
         arrays, names = self._run_output(tree)
         arrays = apply_order_limit(self.bound, arrays, names)
         return arrays, names
@@ -628,8 +668,22 @@ class PhysicalExecutor:
 
         Chunk boundaries are an implementation detail: concatenating the
         yielded chunks equals the contiguous ``_run_relation`` output row
-        for row (streaming never reorders).
+        for row (streaming never reorders).  With ``workers`` > 1 the
+        chunks run on the worker pool; results are still yielded in
+        chunk order, so downstream consumers cannot observe the
+        parallelism.
         """
+        if self.workers > 1:
+            tasks = self._chunk_tasks(node)
+            for envs in parallel_map(
+                lambda task: task(), tasks, self.workers,
+                token=self.cancel_token,
+            ):
+                yield from envs
+            return
+        yield from self._stream_relation_sequential(node)
+
+    def _stream_relation_sequential(self, node: LogicalNode):
         if isinstance(node, Scan):
             yield from self._stream_scan(node)
         elif isinstance(node, Join):
@@ -654,6 +708,7 @@ class PhysicalExecutor:
         )
         self.chunks_pruned += chunked.num_chunks - len(kept)
         for chunk in kept:
+            self._check_cancelled()
             self.chunks_scanned += 1
             env = Environment(
                 {
@@ -677,6 +732,7 @@ class PhysicalExecutor:
         right_keys = right.lookup(predicate.right.key)
         total = 0
         for left_env in self.stream_relation(node.left):
+            self._check_cancelled()
             left_keys = left_env.lookup(predicate.left.key)
             # Each chunk gets the *remaining* budget, so a skewed chunk
             # fails on its cheap pre-count instead of materializing an
@@ -697,6 +753,125 @@ class PhysicalExecutor:
             merged = dict(left_env.taken(left_idx).arrays)
             merged.update(right.taken(right_idx).arrays)
             yield Environment(merged, int(left_idx.size))
+
+    # -- parallel morsel decomposition ----------------------------------- #
+
+    def _chunk_tasks(self, node: LogicalNode):
+        """Decompose a relation into independent chunk tasks.
+
+        Each task returns the list of Environments its chunk contributes;
+        concatenating every task's list in task order reproduces the
+        sequential :meth:`stream_relation` output exactly — scans map to
+        one task per surviving chunk, Filter/Compute wrap the inner
+        tasks, and a Join materializes its build side once (here, on the
+        submitting thread) and wraps the probe-side tasks around a
+        lock-protected cumulative pair budget.
+        """
+        if isinstance(node, Scan):
+            kept, chunked, name_of = pruned_scan_chunks(
+                self.bound, node.binding, node.filters, self.chunk_rows
+            )
+            self.chunks_pruned += chunked.num_chunks - len(kept)
+            self.chunks_scanned += len(kept)
+            return [
+                self._scan_task(node, chunk, name_of) for chunk in kept
+            ]
+        if isinstance(node, Filter):
+            return [
+                self._filter_task(node, inner)
+                for inner in self._chunk_tasks(node.input)
+            ]
+        if isinstance(node, Compute):
+            return [
+                self._compute_task(node, inner)
+                for inner in self._chunk_tasks(node.input)
+            ]
+        if isinstance(node, Join):
+            right = self._run_relation(node.right)
+            budget = _PairBudget(self.pair_limit)
+            return [
+                self._probe_task(node, inner, right, budget)
+                for inner in self._chunk_tasks(node.left)
+            ]
+        raise ExecutionError(f"unexpected relational node {node!r}")
+
+    def _scan_task(self, node: Scan, chunk, name_of):
+        binding = node.binding
+
+        def task():
+            env = Environment(
+                {
+                    f"{binding}.{lower}": chunk.column(name).data
+                    for lower, name in name_of.items()
+                },
+                chunk.num_rows,
+            )
+            if node.filters:
+                env = env.filtered(
+                    conjunction_mask(node.filters, env, self.bound)
+                )
+            return [env] if env.n_rows else []
+
+        return task
+
+    def _filter_task(self, node: Filter, inner):
+        def task():
+            out = []
+            for env in inner():
+                filtered = env.filtered(
+                    conjunction_mask(node.predicates, env, self.bound)
+                )
+                if filtered.n_rows:
+                    out.append(filtered)
+            return out
+
+        return task
+
+    def _compute_task(self, node: Compute, inner):
+        def task():
+            return [
+                compute_environment(env, node.computed, self.bound)
+                for env in inner()
+            ]
+
+        return task
+
+    def _probe_task(self, node: Join, inner, right: Environment,
+                    budget: "_PairBudget"):
+        predicate = node.predicate
+        right_keys = right.lookup(predicate.right.key)
+
+        def task():
+            out = []
+            for left_env in inner():
+                left_keys = left_env.lookup(predicate.left.key)
+                if predicate.is_equi:
+                    count = equi_join_count(left_keys, right_keys)
+                else:
+                    count = nonequi_join_count(
+                        left_keys, right_keys, predicate.op
+                    )
+                # Reserve before materializing: over-budget chunks fail
+                # on their cheap pre-count, exactly like the sequential
+                # remaining-budget check.
+                budget.reserve(count, predicate.op)
+                if not count:
+                    continue
+                if predicate.is_equi:
+                    left_idx, right_idx = equi_join_indices(
+                        left_keys, right_keys
+                    )
+                else:
+                    left_idx, right_idx = nonequi_join_indices(
+                        left_keys, right_keys, predicate.op,
+                        pair_limit=count,
+                    )
+                merged = dict(left_env.taken(left_idx).arrays)
+                merged.update(right.taken(right_idx).arrays)
+                out.append(Environment(merged, int(left_idx.size)))
+            return out
+
+        return task
 
     def _stream_output(
         self, node: LogicalNode
@@ -753,11 +928,37 @@ class PhysicalExecutor:
     ) -> tuple[list[np.ndarray], list[str]]:
         """Streaming equivalent of :meth:`run`: same arrays, bounded
         memory."""
+        self._check_cancelled()
         self.chunks_pruned = 0
         self.chunks_scanned = 0
         arrays, names = self._stream_output(tree)
         arrays = apply_order_limit(self.bound, arrays, names)
         return arrays, names
+
+
+class _PairBudget:
+    """Cumulative join-pair budget shared by parallel probe tasks.
+
+    The sequential streaming join raises once the cumulative pair count
+    crosses ``pair_limit``; with probe chunks racing, the reservation
+    must be atomic so exactly the same total triggers exactly the same
+    error (only the reporting chunk can differ).
+    """
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def reserve(self, pairs: int, op: str) -> None:
+        with self._lock:
+            self._total += pairs
+            if self._total > self.limit:
+                kind = "equi" if op == "=" else "non-equi"
+                raise ExecutionError(
+                    f"{kind} join would materialize {self._total} "
+                    f"cumulative pairs (> {self.limit})"
+                )
 
 
 # --------------------------------------------------------------------------- #
@@ -835,7 +1036,13 @@ class StreamAggregator:
 
     def finalize(self) -> "StreamGroupEval":
         if not self._saw_rows:
-            return StreamGroupEval(self.bound, self.group_by, {}, {}, 0)
+            if self.group_keys:
+                return StreamGroupEval(self.bound, self.group_by, {}, {}, 0)
+            # Ungrouped aggregate over an empty stream: one output row
+            # with COUNT=0 and SUM/AVG/MIN/MAX=0.0 — mirroring
+            # build_group_context on the batch path.
+            finals = {call: np.zeros(1) for call in self.calls}
+            return StreamGroupEval(self.bound, self.group_by, {}, finals, 1)
         if self.group_keys:
             key_arrays = [np.concatenate(part) for part in self._key_parts]
             combined = combine_group_codes(key_arrays)

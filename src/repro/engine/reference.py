@@ -31,6 +31,8 @@ class ReferenceEngine(Engine):
         pair_limit: int = 20_000_000,
         streaming: bool = False,
         chunk_rows: int | None = None,
+        workers: int | None = None,
+        cancel_token=None,
     ):
         # The oracle always materializes; ANALYTIC mode has no meaning here.
         super().__init__(catalog, ExecutionMode.REAL)
@@ -41,11 +43,18 @@ class ReferenceEngine(Engine):
         # verifier replay paper-scale profiles).
         self.streaming = streaming
         self.chunk_rows = chunk_rows
+        # Worker-pool fan-out of the streaming path (None = REPRO_WORKERS
+        # policy) and the cooperative cancellation token, both forwarded
+        # to the PhysicalExecutor per query.
+        self.workers = workers
+        self.cancel_token = cancel_token
 
     def execute_bound(self, bound: BoundQuery) -> QueryResult:
         tree = plan(bound)
         executor = PhysicalExecutor(bound, pair_limit=self.pair_limit,
-                                    chunk_rows=self.chunk_rows)
+                                    chunk_rows=self.chunk_rows,
+                                    workers=self.workers,
+                                    cancel_token=self.cancel_token)
         if self.streaming:
             arrays, names = executor.run_streaming(tree)
         else:
@@ -60,6 +69,7 @@ class ReferenceEngine(Engine):
             extra={
                 "oracle": True,
                 "streaming": self.streaming,
+                "workers": executor.workers,
                 "chunks_pruned": executor.chunks_pruned,
                 "chunks_scanned": executor.chunks_scanned,
             },

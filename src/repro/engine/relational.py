@@ -325,7 +325,9 @@ class RelationalExecutor(Engine):
         from repro.sql.ast_nodes import ColumnRef
 
         if not group_by:
-            return 1 if n_input else 0
+            # Ungrouped aggregates always emit one row, even over zero
+            # input rows (COUNT=0 / SUM=0.0 in this NULL-free model).
+            return 1
         estimate = 1
         group_exprs = getattr(bound, "group_exprs", {})
         for column in group_by:

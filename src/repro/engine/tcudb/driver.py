@@ -26,6 +26,7 @@ import numpy as np
 from repro.common.errors import ExecutionError
 from repro.common.timing import STAGE_FILL, STAGE_MEMCPY, TimingBreakdown
 from repro.engine.base import ExecutionMode
+from repro.engine.parallel import parallel_map, workers_policy
 from repro.engine.relational import equi_join_indices, nonequi_join_indices
 from repro.engine.tcudb.cost import PlanCost, Strategy
 from repro.hardware.gpu import GPUDevice
@@ -200,13 +201,22 @@ class TCUDriver:
     accumulation is what keeps large-``k`` products on the bit-accurate
     numeric path with bounded memory; ``None`` reproduces the legacy
     whole-operand build.
+
+    ``workers`` > 1 fans the independent chunks of both loops across a
+    thread pool (the GEMM emulation is stateless, so parallel products
+    are safe).  Partials still merge in chunk order — pair concatenation
+    and grid summation see exactly the sequential order, so parallel
+    results stay bit-identical (``A @ B.T == sum_c A[:,c] @ B[:,c].T``
+    accumulated in a fixed order).
     """
 
     def __init__(self, device: GPUDevice, mode: ExecutionMode,
-                 chunk_rows: int | None = None):
+                 chunk_rows: int | None = None,
+                 workers: int | None = None):
         self.device = device
         self.mode = mode
         self.chunk_rows = chunk_rows
+        self.workers = workers_policy(workers)
 
     # -- shared charging ---------------------------------------------------- #
 
@@ -353,10 +363,9 @@ class TCUDriver:
             np.arange(m), prepared.right_keys_mapped, np.ones(m), (m, k)
         ).T
         chunk = self.chunk_rows
-        rows_parts: list[np.ndarray] = []
-        cols_parts: list[np.ndarray] = []
         n = prepared.left_keys_mapped.size
-        for start in range(0, n, chunk):
+
+        def probe_chunk(start: int) -> tuple[np.ndarray, np.ndarray]:
             keys = prepared.left_keys_mapped[start:start + chunk]
             nc = keys.size
             if prepared.op == "=":
@@ -371,7 +380,16 @@ class TCUDriver:
                                       (nc, k))
             product = self._execute_gemm(left, right, plan)
             rows, cols = np.nonzero(product > 0)
-            rows_parts.append(rows + start)
+            return rows + start, cols
+
+        # Chunks are independent GEMMs over a shared read-only build side;
+        # parallel_map yields them in submission order, so the pair lists
+        # concatenate exactly as the sequential loop would.
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        for rows, cols in parallel_map(probe_chunk, range(0, n, chunk),
+                                       self.workers):
+            rows_parts.append(rows)
             cols_parts.append(cols)
         if not rows_parts:
             empty = np.array([], dtype=np.int64)
@@ -463,16 +481,17 @@ class TCUDriver:
         """
         chunk = self.chunk_rows
         n_slices = len(left_values_list)
-        grids = [np.zeros((left.g, right.g)) for _ in range(n_slices)]
         lrows, lkeys = left.row_codes(), np.asarray(left.keys_mapped)
         rrows, rkeys = right.row_codes(), np.asarray(right.keys_mapped)
-        for k0 in range(0, k, chunk):
+
+        def chunk_partials(k0: int) -> list[np.ndarray] | None:
             k1 = min(k0 + chunk, k)
             lsel = (lkeys >= k0) & (lkeys < k1)
             rsel = (rkeys >= k0) & (rkeys < k1)
             if not lsel.any() or not rsel.any():
-                continue
+                return None
             kc = k1 - k0
+            partials = []
             for i in range(n_slices):
                 mat_a = dense_from_coo(
                     lrows[lsel], lkeys[lsel] - k0,
@@ -482,7 +501,19 @@ class TCUDriver:
                     rrows[rsel], rkeys[rsel] - k0,
                     np.asarray(right_values_list[i])[rsel], (right.g, kc),
                 )
-                grids[i] += self._execute_gemm(mat_a, mat_b.T, plan)
+                partials.append(self._execute_gemm(mat_a, mat_b.T, plan))
+            return partials
+
+        # Partial grids compute in parallel but sum on this thread in
+        # chunk order — float accumulation order matches the sequential
+        # loop, keeping the parallel grids bit-identical.
+        grids = [np.zeros((left.g, right.g)) for _ in range(n_slices)]
+        for partials in parallel_map(chunk_partials, range(0, k, chunk),
+                                     self.workers):
+            if partials is None:
+                continue
+            for i in range(n_slices):
+                grids[i] += partials[i]
         return grids
 
     def _grids_batched(self, left: PreparedAggSide, right: PreparedAggSide,

@@ -71,6 +71,11 @@ class TCUDBOptions:
     # ANALYTIC mode (bounded by the stage's row budget) instead of
     # falling back with kind="mode".
     stream_prestage: bool = True
+    # Morsel parallelism: worker-thread count for the independent chunk
+    # loops (scan filters, probe-chunk GEMMs, grid partials, streaming
+    # pre-stages).  ``None`` defers to the REPRO_WORKERS policy; 1 is
+    # strictly sequential.  Parallel output is bit-identical.
+    workers: int | None = None
 
 
 class TCUDBEngine(Engine):
@@ -98,8 +103,13 @@ class TCUDBEngine(Engine):
             force_precision=self.options.force_precision,
         )
         self.driver = TCUDriver(self.device, mode,
-                                chunk_rows=self._driver_chunk_rows())
+                                chunk_rows=self._driver_chunk_rows(),
+                                workers=self.options.workers)
         self._fallback = YDBEngine(catalog, self.device, mode=mode)
+        # Per-query cooperative cancellation: the serving front-end sets
+        # this before execute_bound and clears it after; operators poll
+        # it at chunk/op boundaries.
+        self.cancel_token = None
 
     def _driver_chunk_rows(self) -> int | None:
         if not self.options.chunked_execution:
@@ -148,7 +158,7 @@ class TCUDBEngine(Engine):
         return ProgramContext(
             bound=bound, device=self.device, host=self.host, mode=self.mode,
             options=self.options, optimizer=self.optimizer,
-            driver=self.driver,
+            driver=self.driver, cancel_token=self.cancel_token,
         )
 
     def _fall_back(self, bound: BoundQuery, reason: str,

@@ -340,6 +340,33 @@ class TableSource(TensorOp):
         scanned = sum(chunk.num_rows for chunk in kept)
         ctx.charge(self, STAGE_FILL,
                    scanned * ctx.host.scan_elem_s * len(filters))
+        if ctx.workers > 1 and kept:
+            # Morsel-parallel filtering: each kept chunk evaluates the
+            # conjunction over its own slice; filtering per chunk and
+            # concatenating in chunk order is elementwise-identical to
+            # filtering the concatenated arrays.
+            from repro.engine.parallel import parallel_map
+
+            binding_local = binding
+
+            def filter_chunk(chunk):
+                env = Environment(
+                    {
+                        f"{binding_local}.{lower}": chunk.column(name).data
+                        for lower, name in name_of.items()
+                    },
+                    chunk.num_rows,
+                )
+                mask = conjunction_mask(filters, env, ctx.bound)
+                return {k: v[mask] for k, v in env.arrays.items()}
+
+            parts = list(parallel_map(filter_chunk, kept, ctx.workers))
+            arrays = {
+                key: np.concatenate([part[key] for part in parts])
+                for key in parts[0]
+            }
+            n_rows = int(next(iter(arrays.values())).size) if arrays else 0
+            return Environment(arrays, n_rows)
         if len(kept) == chunked.num_chunks:
             env = Environment.from_table(ctx.bound, binding)
         elif kept:
@@ -1153,8 +1180,18 @@ class GridAggregate(TensorOp):
         product: ProductValue = ctx.value(self.input)
         operands: AggOperandsValue = product.operands
         if product.empty:
-            return GroupsValue(agg_values=[], group_columns={}, n_rows=0,
-                               empty=True)
+            if operands.grouped:
+                return GroupsValue(agg_values=[], group_columns={}, n_rows=0,
+                                   empty=True)
+            # Ungrouped aggregates over zero qualifying rows still return
+            # one row: COUNT = 0 and (NULL-free model) SUM/AVG/MIN/MAX =
+            # 0.0 — synthesize it rather than dropping the result row,
+            # matching the conventional executors.
+            groups = GroupsValue(
+                agg_values=[np.zeros(1) for _ in operands.specs],
+                group_columns={}, n_rows=1,
+            )
+            return self._apply_epilogue(ctx, groups)
         left, right = operands.left, operands.right
         if product.semantic and ctx.mode != ExecutionMode.REAL:
             estimate = min(
@@ -1172,6 +1209,14 @@ class GridAggregate(TensorOp):
         grids, count_grid = product.grids, product.count_grid
         present = count_grid > 0
         rows, cols = np.nonzero(present)
+        if rows.size == 0 and not operands.grouped:
+            # Non-empty operands but zero matching pairs: the ungrouped
+            # result row still exists (COUNT = 0, sums 0.0).
+            groups = GroupsValue(
+                agg_values=[np.zeros(1) for _ in operands.specs],
+                group_columns={}, n_rows=1,
+            )
+            return self._apply_epilogue(ctx, groups)
         agg_values: list[np.ndarray] = []
         for spec, grid in zip(operands.specs, grids):
             values = grid[rows, cols]
@@ -1190,6 +1235,9 @@ class GridAggregate(TensorOp):
         groups = GroupsValue(agg_values=agg_values,
                              group_columns=group_columns,
                              n_rows=int(rows.size))
+        return self._apply_epilogue(ctx, groups)
+
+    def _apply_epilogue(self, ctx, groups: GroupsValue) -> GroupsValue:
         if not self.epilogue_predicates:
             return groups
         self._charge_epilogue(ctx, groups.n_rows)
@@ -1384,7 +1432,9 @@ class PhysicalStage(TensorOp):
                 "hybrid pre-stage requires REAL mode (materialized relation)",
                 kind="mode",
             )
-        executor = PhysicalExecutor(ctx.bound, chunk_rows=ctx.chunk_rows)
+        executor = PhysicalExecutor(ctx.bound, chunk_rows=ctx.chunk_rows,
+                                    workers=ctx.workers,
+                                    cancel_token=ctx.cancel_token)
         try:
             if self.streaming:
                 env = self._stream_prefix(ctx, executor)

@@ -39,7 +39,7 @@ class ProgramContext:
     """Shared execution state of one TensorProgram run."""
 
     def __init__(self, bound, device, host, mode: ExecutionMode, options,
-                 optimizer, driver):
+                 optimizer, driver, cancel_token=None):
         self.bound = bound
         self.device = device
         self.host = host
@@ -47,6 +47,7 @@ class ProgramContext:
         self.options = options
         self.optimizer = optimizer
         self.driver = driver
+        self.cancel_token = cancel_token
         self.breakdown = TimingBreakdown()
         self.values: dict[str, object] = {}
         self.decisions: dict[str, object] = {}
@@ -90,6 +91,13 @@ class ProgramContext:
 
         return chunk_rows_policy(getattr(self.options, "chunk_rows", None))
 
+    @property
+    def workers(self) -> int:
+        """Effective worker count for the morsel-parallel chunk loops."""
+        from repro.engine.parallel import workers_policy
+
+        return workers_policy(getattr(self.options, "workers", None))
+
     def referenced_columns(self, binding: str) -> int:
         return max(
             len({c.column for c in self.bound.resolution.values()
@@ -111,6 +119,8 @@ class TensorProgram:
         """Execute every operator in order; returns the final payload."""
         result = None
         for op in self.ops:
+            if ctx.cancel_token is not None:
+                ctx.cancel_token.raise_if_cancelled()
             result = op.execute(ctx)
             ctx.values[op.id] = result
         if not isinstance(result, OutputValue):

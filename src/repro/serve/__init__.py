@@ -1,0 +1,17 @@
+"""Concurrent query serving front-end (see :mod:`repro.serve.server`)."""
+
+from repro.serve.server import (
+    QueryBudget,
+    QueryServer,
+    QueryTicket,
+    Session,
+    TicketState,
+)
+
+__all__ = [
+    "QueryBudget",
+    "QueryServer",
+    "QueryTicket",
+    "Session",
+    "TicketState",
+]

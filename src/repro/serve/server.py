@@ -1,0 +1,349 @@
+"""A concurrent query server over one shared catalog.
+
+The morsel-parallel executors (PR: parallel morsel execution) make a
+single query faster; this module makes *many* queries safe.  A
+:class:`QueryServer` owns one immutable :class:`~repro.storage.catalog.Catalog`
+and a pool of executor threads; any number of :class:`Session` handles
+submit SQL concurrently.  The design mirrors the classic analytic-serving
+shape:
+
+* **shared catalog, per-session engines** — table arrays are read-only
+  and shared zero-copy across every session; each session lazily builds
+  its own engine instance (engines carry per-query scratch state such as
+  optimizer decisions and cancellation tokens, so they are never shared
+  between threads);
+* **admission control** — at most ``max_concurrent`` queries execute at
+  once and at most ``max_queued`` wait; a submit beyond both fails fast
+  with :class:`~repro.common.errors.AdmissionError` instead of queueing
+  unboundedly;
+* **per-query budgets** — a :class:`QueryBudget` caps host wall-clock
+  seconds (enforced cooperatively through the executor's
+  :class:`~repro.engine.parallel.CancellationToken`, polled at chunk/op
+  boundaries) and result rows (enforced on completion);
+* **cooperative cancellation** — :meth:`QueryTicket.cancel` flips the
+  query's token; a streaming query stops at its next chunk boundary and
+  the ticket resolves with :class:`~repro.common.errors.QueryCancelled`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import AdmissionError, ExecutionError, QueryCancelled
+from repro.engine import create_engine
+from repro.engine.base import QueryResult
+from repro.engine.parallel import CancellationToken, workers_policy
+from repro.storage.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Per-query resource limits enforced by the server.
+
+    ``max_seconds`` arms the cancellation token's deadline (host
+    wall-clock; the query dies cooperatively at the first chunk/operator
+    boundary past it).  ``max_rows`` bounds the *result* cardinality:
+    checked when the result materializes, so an aggregate over billions
+    of input rows with a three-row answer passes a small budget.
+    """
+
+    max_seconds: float | None = None
+    max_rows: int | None = None
+
+
+class TicketState(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class QueryTicket:
+    """Handle for one submitted query: await it, or cancel it."""
+
+    def __init__(self, sql: str, token: CancellationToken):
+        self.sql = sql
+        self.token = token
+        self._done = threading.Event()
+        self._result: QueryResult | None = None
+        self._error: BaseException | None = None
+        self._state = TicketState.QUEUED
+        self._lock = threading.Lock()
+
+    # -- owner side ---------------------------------------------------- #
+
+    @property
+    def state(self) -> TicketState:
+        return self._state
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Request cooperative cancellation; the query stops at its next
+        chunk/operator boundary (a no-op once the ticket resolved)."""
+        self.token.cancel(reason)
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Block until the query resolves; raises what the query raised
+        (:class:`QueryCancelled` for cancelled/expired queries)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query still {self._state.value} after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    # -- server side --------------------------------------------------- #
+
+    def _start(self) -> None:
+        with self._lock:
+            self._state = TicketState.RUNNING
+
+    def _resolve(self, result: QueryResult) -> None:
+        with self._lock:
+            self._result = result
+            self._state = TicketState.DONE
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            self._error = error
+            self._state = (
+                TicketState.CANCELLED
+                if isinstance(error, QueryCancelled)
+                else TicketState.FAILED
+            )
+        self._done.set()
+
+
+class QueryServer:
+    """Admission-controlled concurrent execution over a shared catalog.
+
+    ``max_concurrent`` executor threads drain a bounded FIFO of admitted
+    tickets; ``workers`` is forwarded to every engine so each query's
+    chunk loops fan out morsel-parallel (total thread pressure is then
+    ``max_concurrent * workers`` — size accordingly).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        engine: str = "tcudb",
+        max_concurrent: int = 2,
+        max_queued: int = 8,
+        workers: int | None = None,
+        default_budget: QueryBudget | None = None,
+        engine_kwargs: dict | None = None,
+    ):
+        if max_concurrent <= 0:
+            raise ExecutionError("max_concurrent must be positive")
+        if max_queued < 0:
+            raise ExecutionError("max_queued must be >= 0")
+        self.catalog = catalog
+        self.engine_name = engine
+        self.max_concurrent = max_concurrent
+        self.max_queued = max_queued
+        self.workers = workers_policy(workers)
+        self.default_budget = default_budget or QueryBudget()
+        self.engine_kwargs = dict(engine_kwargs or {})
+        self._lock = threading.Lock()
+        self._queue: list[tuple[QueryTicket, Session]] = []
+        self._running = 0
+        self._closed = False
+        self._idle = threading.Condition(self._lock)
+        self._threads: list[threading.Thread] = []
+        self._work = threading.Semaphore(0)
+        for i in range(max_concurrent):
+            thread = threading.Thread(
+                target=self._drain, name=f"query-server-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        # Served-query counters (under self._lock).
+        self.stats = {"admitted": 0, "rejected": 0, "completed": 0,
+                      "failed": 0, "cancelled": 0}
+
+    # -- session factory ------------------------------------------------ #
+
+    def session(self) -> "Session":
+        return Session(self)
+
+    # -- admission ------------------------------------------------------ #
+
+    def _submit(self, session: "Session", sql: str,
+                budget: QueryBudget | None) -> QueryTicket:
+        budget = budget or self.default_budget
+        token = CancellationToken(deadline_s=budget.max_seconds)
+        ticket = QueryTicket(sql, token)
+        ticket._budget = budget  # type: ignore[attr-defined]
+        with self._lock:
+            if self._closed:
+                raise ExecutionError("server is closed")
+            backlog = len(self._queue) + self._running
+            if backlog >= self.max_concurrent + self.max_queued:
+                self.stats["rejected"] += 1
+                raise AdmissionError(
+                    f"admission queue full ({backlog} queries in flight, "
+                    f"limit {self.max_concurrent}+{self.max_queued})"
+                )
+            self.stats["admitted"] += 1
+            self._queue.append((ticket, session))
+        self._work.release()
+        return ticket
+
+    # -- executor loop --------------------------------------------------- #
+
+    def _drain(self) -> None:
+        while True:
+            self._work.acquire()
+            with self._lock:
+                if self._closed and not self._queue:
+                    return
+                if not self._queue:
+                    continue
+                ticket, session = self._queue.pop(0)
+                self._running += 1
+            try:
+                self._execute(ticket, session)
+            finally:
+                with self._idle:
+                    self._running -= 1
+                    self._idle.notify_all()
+
+    def _execute(self, ticket: QueryTicket, session: "Session") -> None:
+        ticket._start()
+        budget: QueryBudget = ticket._budget  # type: ignore[attr-defined]
+        started = time.perf_counter()
+        try:
+            ticket.token.raise_if_cancelled()
+            engine = session._engine()
+            # Engines poll the token at chunk/operator boundaries.
+            engine.cancel_token = ticket.token
+            try:
+                result = engine.execute(ticket.sql)
+            finally:
+                engine.cancel_token = None
+            if budget.max_rows is not None and result.n_rows > budget.max_rows:
+                raise ExecutionError(
+                    f"result exceeds row budget: {result.n_rows} rows "
+                    f"(> {budget.max_rows})"
+                )
+            result.extra["host_seconds"] = time.perf_counter() - started
+            result.extra["session"] = session.session_id
+        except BaseException as error:  # resolve, never kill the worker
+            with self._lock:
+                key = ("cancelled" if isinstance(error, QueryCancelled)
+                       else "failed")
+                self.stats[key] += 1
+            ticket._fail(error)
+            return
+        with self._lock:
+            self.stats["completed"] += 1
+        ticket._resolve(result)
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no query is queued or running."""
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        with self._idle:
+            while self._queue or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def close(self) -> None:
+        """Stop accepting queries and shut the executor threads down
+        (queued queries still run to completion)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._work.release()  # wake every worker so it can exit
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Session:
+    """One client's handle on the server.
+
+    Sessions are cheap: they share the server's catalog and lazily build
+    one private engine (first use), so per-query state — optimizer
+    decisions, fallback bookkeeping, the cancellation token — never
+    crosses sessions.  A session submits from its owning thread; its
+    queries execute on the server pool.
+    """
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, server: QueryServer):
+        self.server = server
+        with Session._counter_lock:
+            Session._counter += 1
+            self.session_id = Session._counter
+        self._engine_instance = None
+        self._engine_lock = threading.Lock()
+
+    def _engine(self):
+        with self._engine_lock:
+            if self._engine_instance is None:
+                kwargs = dict(self.server.engine_kwargs)
+                name = self.server.engine_name
+                if name == "tcudb":
+                    from repro.engine.tcudb.engine import TCUDBOptions
+
+                    options = kwargs.pop("options", None) or TCUDBOptions()
+                    options.workers = self.server.workers
+                    kwargs["options"] = options
+                else:
+                    import inspect
+
+                    from repro.engine import ENGINE_REGISTRY
+
+                    cls = ENGINE_REGISTRY[name.lower()]
+                    accepts = inspect.signature(cls.__init__).parameters
+                    if "workers" in accepts:
+                        kwargs.setdefault("workers", self.server.workers)
+                self._engine_instance = create_engine(
+                    name, self.server.catalog, **kwargs
+                )
+                if not hasattr(self._engine_instance, "cancel_token"):
+                    self._engine_instance.cancel_token = None
+            return self._engine_instance
+
+    def submit(self, sql: str,
+               budget: QueryBudget | None = None) -> QueryTicket:
+        """Enqueue one query; raises AdmissionError when the server is
+        saturated past its queue bound."""
+        return self.server._submit(self, sql, budget)
+
+    def execute(self, sql: str,
+                budget: QueryBudget | None = None,
+                timeout: float | None = None) -> QueryResult:
+        """Submit and block for the result."""
+        return self.submit(sql, budget).result(timeout)
+
+
+__all__ = [
+    "QueryBudget",
+    "QueryServer",
+    "QueryTicket",
+    "Session",
+    "TicketState",
+]

@@ -174,6 +174,61 @@ class Disjunction(Predicate):
         return "(" + " OR ".join(str(a) for a in self.arms) + ")"
 
 
+def evaluate_literal_arithmetic(
+    op: str, left: float, right: float
+) -> float | None:
+    """Literal arithmetic with the runtime's float64 semantics, or
+    ``None`` when folding would change behaviour (zero divisors produce
+    runtime-specific NaN/identity handling, so they stay unfolded)."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right if right != 0.0 else None
+    if op == "%":
+        return left % right if right != 0.0 else None
+    return None
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Collapse literal-only arithmetic into a single :class:`Literal`.
+
+    The parser has no unary minus node — ``-5`` parses as
+    ``(0 - 5)`` — and parameter substitution can likewise leave
+    all-literal arithmetic behind.  Statistics-based chunk pruning and
+    selectivity estimation only see through plain literals, so an
+    unfolded constant silently disables both (every chunk scanned).
+    Folding produces a *float* literal because the runtime evaluates
+    arithmetic in float64; string operands never fold.
+    """
+    if isinstance(expr, BinaryOp):
+        left = fold_constants(expr.left)
+        right = fold_constants(expr.right)
+        if (
+            isinstance(left, Literal)
+            and isinstance(right, Literal)
+            and not isinstance(left.value, str)
+            and not isinstance(right.value, str)
+        ):
+            value = evaluate_literal_arithmetic(
+                expr.op, float(left.value), float(right.value)
+            )
+            if value is not None:
+                return Literal(value)
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinaryOp(op=expr.op, left=left, right=right)
+    if isinstance(expr, AggregateCall) and expr.argument is not None:
+        argument = fold_constants(expr.argument)
+        if argument is expr.argument:
+            return expr
+        return AggregateCall(func=expr.func, argument=argument)
+    return expr
+
+
 def walk_predicate_exprs(predicate: Predicate):
     """Yield every scalar expression appearing inside a predicate tree."""
     if isinstance(predicate, Comparison):

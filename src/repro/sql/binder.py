@@ -24,6 +24,7 @@ from repro.sql.ast_nodes import (
     Predicate,
     SelectItem,
     SelectStatement,
+    fold_constants,
     map_predicate_exprs,
     walk_predicate_exprs,
 )
@@ -144,8 +145,11 @@ def substitute_parameters(expr: Expr, params: dict[str, object]) -> Expr:
 
 
 def _substitute_predicate(pred: Predicate, params: dict[str, object]) -> Predicate:
+    # Constant-fold after substitution: unary minus parses as (0 - x)
+    # and @parameters may complete literal arithmetic — unfolded
+    # constants blind statistics-based pruning and selectivity.
     return map_predicate_exprs(
-        pred, lambda expr: substitute_parameters(expr, params)
+        pred, lambda expr: fold_constants(substitute_parameters(expr, params))
     )
 
 
@@ -169,7 +173,9 @@ class _Binder:
         having = [self._bind_having(p) for p in statement.having]
         order_by = [
             OrderItem(
-                expr=substitute_parameters(item.expr, self._params),
+                expr=fold_constants(
+                    substitute_parameters(item.expr, self._params)
+                ),
                 descending=item.descending,
             )
             for item in statement.order_by
@@ -246,7 +252,7 @@ class _Binder:
         self._resolve_column(ref)
 
     def _bind_expr(self, expr: Expr) -> Expr:
-        expr = substitute_parameters(expr, self._params)
+        expr = fold_constants(substitute_parameters(expr, self._params))
         for node in expr.walk():
             if isinstance(node, ColumnRef):
                 self._resolve_column(node)
@@ -261,7 +267,7 @@ class _Binder:
         group_by: list[BoundColumn] = []
         group_exprs: dict[str, Expr] = {}
         for expr in statement.group_by:
-            expr = substitute_parameters(expr, self._params)
+            expr = fold_constants(substitute_parameters(expr, self._params))
             if isinstance(expr, ColumnRef):
                 group_by.append(self._resolve_column(expr))
                 continue

@@ -19,6 +19,7 @@ row for row (chunking never reorders).
 from __future__ import annotations
 
 import os
+import threading
 from collections.abc import Iterator
 
 from repro.common.errors import StorageError
@@ -65,6 +66,7 @@ class Chunk:
             for name in table.column_names
         }
         self._stats: dict[str, ColumnStats] = {}
+        self._stats_lock = threading.Lock()
 
     @property
     def num_rows(self) -> int:
@@ -78,10 +80,21 @@ class Chunk:
         return self._columns[name]
 
     def stats(self, name: str) -> ColumnStats:
-        """min/max/n_distinct of one column *within this chunk*."""
-        if name not in self._stats:
-            self._stats[name] = compute_stats(self._columns[name])
-        return self._stats[name]
+        """min/max/n_distinct of one column *within this chunk*.
+
+        Computed lazily and memoized under a lock: worker-pool scans hit
+        the same chunk from several threads, and an unsynchronized dict
+        write can tear or double-compute.
+        """
+        cached = self._stats.get(name)
+        if cached is not None:
+            return cached
+        with self._stats_lock:
+            cached = self._stats.get(name)
+            if cached is None:
+                cached = compute_stats(self._columns[name])
+                self._stats[name] = cached
+            return cached
 
     def arrays(self) -> dict[str, "object"]:
         """Physical arrays per column (codes for strings)."""
@@ -104,7 +117,10 @@ class ChunkedTable:
         self._table = table
         self.chunk_rows = chunk_rows_policy(chunk_rows)
         n = table.num_rows
-        bounds = list(range(0, n, self.chunk_rows)) or [0]
+        # An empty table has *zero* chunks: a fabricated zero-row chunk
+        # would carry made-up min=max=0.0 statistics and still be
+        # scanned, filtered and charged by every consumer.
+        bounds = list(range(0, n, self.chunk_rows))
         self.chunks: list[Chunk] = [
             Chunk(table, i, start, min(start + self.chunk_rows, n))
             for i, start in enumerate(bounds)

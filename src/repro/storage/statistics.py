@@ -67,8 +67,14 @@ MIN_SELECTIVITY = 1e-4
 
 
 def _literal_value(expr) -> float | None:
-    from repro.sql.ast_nodes import Literal
+    """Numeric value of a constant expression: a plain literal, or
+    literal-only arithmetic (``0 - 5`` from unary minus) const-evaluated
+    through :func:`~repro.sql.ast_nodes.fold_constants` — belt and
+    braces for predicates built without the binder's folding pass."""
+    from repro.sql.ast_nodes import BinaryOp, Literal, fold_constants
 
+    if isinstance(expr, BinaryOp):
+        expr = fold_constants(expr)
     if isinstance(expr, Literal) and not isinstance(expr.value, str):
         return float(expr.value)
     return None
@@ -121,7 +127,9 @@ def predicate_selectivity(predicate, stats_of) -> float:
             if left_stats is not None
             else (right_stats, _literal_value(predicate.left))
         )
-        if stats is None:
+        if stats is None or stats.n_rows == 0:
+            # Zero-row stats are fabricated (min=max=0.0 over no rows);
+            # never drive an estimate from them.
             return DEFAULT_SELECTIVITY
         if predicate.op == "=":
             return 1.0 / max(stats.n_distinct, 1)
@@ -137,14 +145,14 @@ def predicate_selectivity(predicate, stats_of) -> float:
         stats = stats_of(predicate.expr)
         low = _literal_value(predicate.low)
         high = _literal_value(predicate.high)
-        if stats is None or low is None or high is None:
+        if stats is None or stats.n_rows == 0 or low is None or high is None:
             return DEFAULT_SELECTIVITY
         below = _range_fraction(stats, "<=", high)
         above = _range_fraction(stats, ">=", low)
         return float(min(max(below + above - 1.0, 0.0), 1.0))
     if isinstance(predicate, InList):
         stats = stats_of(predicate.expr)
-        if stats is None:
+        if stats is None or stats.n_rows == 0:
             return DEFAULT_SELECTIVITY
         return float(min(len(predicate.values) / max(stats.n_distinct, 1),
                          1.0))
@@ -165,9 +173,13 @@ def predicate_selectivity(predicate, stats_of) -> float:
 
 def _bound_literal(expr, ref, encode) -> float | None:
     """Literal value translated into the compared column's physical
-    domain (dictionary codes for strings) when an encoder is supplied."""
-    from repro.sql.ast_nodes import Literal
+    domain (dictionary codes for strings) when an encoder is supplied.
+    Literal-only arithmetic const-evaluates first (see
+    :func:`_literal_value`)."""
+    from repro.sql.ast_nodes import BinaryOp, Literal, fold_constants
 
+    if isinstance(expr, BinaryOp):
+        expr = fold_constants(expr)
     if not isinstance(expr, Literal):
         return None
     if isinstance(expr.value, str):
@@ -214,7 +226,11 @@ def predicate_can_match(predicate, stats_of, encode=None) -> bool:
             )
         else:  # column-vs-column or literal-vs-literal: no pruning
             return True
-        if value is None or stats.n_rows == 0:
+        if stats.n_rows == 0:
+            # A zero-row chunk satisfies no predicate; its min/max are
+            # fabricated (0.0/0.0), so prune unconditionally.
+            return False
+        if value is None:
             return True
         lo, hi = stats.min_value, stats.max_value
         if op == "=":
@@ -230,8 +246,10 @@ def predicate_can_match(predicate, stats_of, encode=None) -> bool:
         return True  # <> / != prunes nothing from min/max alone
     if isinstance(predicate, Between):
         stats = stats_of(predicate.expr)
-        if stats is None or stats.n_rows == 0:
+        if stats is None:
             return True
+        if stats.n_rows == 0:
+            return False
         low = _bound_literal(predicate.low, predicate.expr, encode)
         high = _bound_literal(predicate.high, predicate.expr, encode)
         if low is not None and stats.max_value < low:
@@ -241,8 +259,10 @@ def predicate_can_match(predicate, stats_of, encode=None) -> bool:
         return True
     if isinstance(predicate, InList):
         stats = stats_of(predicate.expr)
-        if stats is None or stats.n_rows == 0:
+        if stats is None:
             return True
+        if stats.n_rows == 0:
+            return False
         values = [
             _bound_literal(literal, predicate.expr, encode)
             for literal in predicate.values

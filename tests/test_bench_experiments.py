@@ -14,6 +14,7 @@ from repro.bench import (
     run_ablation_fused_agg,
     run_ablation_precision,
     run_ablation_transform_location,
+    run_concurrency,
     run_fig3,
     run_fig7,
     run_fig8,
@@ -265,3 +266,36 @@ class TestAblations:
         auto = result.find("32768,32", "gpu-allowed").seconds
         cpu = result.find("32768,32", "cpu-only").seconds
         assert auto <= cpu
+
+
+class TestConcurrency:
+    def test_scaling_curve_shape(self):
+        result = run_concurrency(rows=3000)
+        assert result.unit == "ratio"
+        assert result.host_measured is True
+        # Both series anchor at exactly 1.0 for workers=1 and carry the
+        # raw wall-clock on every point.
+        for engine in ("TCUDB", "Reference-streaming"):
+            assert result.find("workers=1", engine).seconds == 1.0
+            for config in result.configs():
+                point = result.find(config, engine)
+                assert point.host_seconds is not None
+                assert point.host_seconds > 0
+        # The run-recorded invariants: bit-identical rows across worker
+        # counts, worker-invariant simulated seconds, and the CPU count
+        # a reader needs to interpret the ratios.
+        notes = "\n".join(result.notes)
+        assert "row divergences: 0" in notes
+        assert "worker-invariant: True" in notes
+        assert "cpu_count=" in notes
+
+    def test_round_trips_through_the_report_schema(self):
+        result = run_concurrency(rows=3000)
+        clone = ExperimentResult.from_dict(result.to_dict())
+        assert clone.host_measured is True
+        assert clone.unit == "ratio"
+        assert [p.host_seconds for p in clone.points] == [
+            p.host_seconds for p in result.points
+        ]
+        # ratio-unit experiments never feed the host-drift geomean
+        assert clone.host_drift_ratios() == []

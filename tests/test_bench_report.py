@@ -170,6 +170,20 @@ class TestRegressionGate:
         assert verdict.geomean_ratio is None
         assert any("mape" in w for w in verdict.warnings)
 
+    def test_host_measured_experiments_exempt_from_drift_warnings(self):
+        # The concurrency scaling ratios are host wall-clock: machine-
+        # dependent, so value drift is measurement, not regression.
+        def scaling(values):
+            experiment = _toy_experiment("concurrency_scaling",
+                                         seconds=values, unit="ratio")
+            experiment.host_measured = True
+            return BenchReport(profile="smoke", experiments=[experiment])
+
+        verdict = compare_reports(scaling((0.5, 0.4)), scaling((1.0, 2.0)),
+                                  max_slowdown=0.10)
+        assert verdict.verdict == "pass"
+        assert not any("concurrency_scaling" in w for w in verdict.warnings)
+
     def test_missing_overlap_fails_closed(self):
         # A baseline that gates nothing must not report "pass": a profile
         # resize or experiment rename would otherwise disable the gate.

@@ -1,0 +1,220 @@
+"""Regression tests for the stats/pruning bugs the parallel work exposed.
+
+Three bugs, one suite:
+
+1. **Negative literals defeat pruning** — the parser encodes ``-5`` as
+   ``(0 - 5)``; neither the binder nor the chunk-pruning statistics used
+   to const-evaluate that ``BinaryOp``, so ``lo_quantity < -5`` scanned
+   every chunk of an all-positive column.  Fixed by constant folding in
+   the binder plus const-evaluation inside the statistics helpers.
+2. **Empty columns fabricate statistics** — a zero-row column reported
+   ``min=max=0.0``, and an empty table materialized one scannable
+   zero-row chunk; predicates like ``a = 0`` then *kept* provably empty
+   chunks and selectivity estimates trusted fake bounds.  Fixed:
+   ``n_rows == 0`` stats prune unconditionally and never feed
+   selectivity; empty tables have zero chunks.
+3. **Ungrouped aggregates over zero rows dropped the result row** —
+   SQL returns one row (COUNT = 0; the NULL-free storage model renders
+   SUM/AVG/MIN/MAX as 0.0).  Fixed across the batch executor, the
+   streaming aggregator, the relational estimator and the TCU grid
+   harvest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ssb import ssb_catalog
+from repro.engine import create_engine
+from repro.engine.reference import ReferenceEngine
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Literal,
+    fold_constants,
+)
+from repro.sql.binder import bind
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+from repro.storage.chunk import ChunkedTable
+from repro.storage.column import Column
+from repro.storage.statistics import (
+    DEFAULT_SELECTIVITY,
+    compute_stats,
+    predicate_can_match,
+    predicate_selectivity,
+)
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+
+def _catalog_with(name: str, data: dict) -> Catalog:
+    catalog = Catalog()
+    catalog.register(Table.from_dict(name, data))
+    return catalog
+
+
+# --------------------------------------------------------------------------- #
+# Bug 1: negative literals vs constant folding and pruning
+# --------------------------------------------------------------------------- #
+
+
+class TestNegativeLiteralFolding:
+    def test_parser_unary_minus_folds_in_binder(self):
+        statement = parse("SELECT a FROM t WHERE a < -5;")
+        catalog = _catalog_with("t", {"a": np.arange(1, 100)})
+        bound = bind(statement, catalog)
+        (predicate,) = bound.filters["t"]
+        assert isinstance(predicate, Comparison)
+        assert isinstance(predicate.right, Literal)
+        assert float(predicate.right.value) == -5.0
+
+    def test_fold_constants_arithmetic(self):
+        # (0 - 5) -> -5.0; folding mirrors runtime float64 arithmetic.
+        expr = BinaryOp("-", Literal(0), Literal(5))
+        folded = fold_constants(expr)
+        assert isinstance(folded, Literal) and folded.value == -5.0
+        nested = BinaryOp("*", BinaryOp("+", Literal(2), Literal(3)),
+                          Literal(4))
+        assert fold_constants(nested).value == 20.0
+        # Zero divisors never fold: the runtime has special-case
+        # semantics (nan / identity) that a folded constant would lose.
+        div = BinaryOp("/", Literal(1), Literal(0))
+        assert isinstance(fold_constants(div), BinaryOp)
+        mod = BinaryOp("%", Literal(1), Literal(0))
+        assert isinstance(fold_constants(mod), BinaryOp)
+        # Non-constant subtrees pass through untouched.
+        ref = ColumnRef(None, "a")
+        mixed = BinaryOp("+", ref, Literal(1))
+        assert fold_constants(mixed) is mixed
+
+    def test_negative_literal_prunes_every_chunk(self):
+        """The headline regression: `lo_quantity < -5` over an
+        all-positive column must prune all chunks, scanning none."""
+        catalog = _catalog_with("t", {"a": np.arange(1, 4097)})
+        num_chunks = ChunkedTable(catalog.get("t"), 256).num_chunks
+        assert num_chunks == 16
+        engine = ReferenceEngine(catalog, streaming=True, chunk_rows=256)
+        result = engine.execute("SELECT COUNT(*) AS c FROM t WHERE a < -5")
+        assert result.extra["chunks_pruned"] == num_chunks
+        assert result.extra["chunks_scanned"] == 0
+        assert int(result.table.column("c").data[0]) == 0
+
+    def test_statistics_const_evaluate_binary_ops(self):
+        """Belt and braces: predicates built without the binder's folding
+        pass (direct AST construction) still prune and price."""
+        stats = compute_stats(Column(np.arange(1, 100), DataType.INT64))
+        ref = ColumnRef(None, "a")
+        minus_five = BinaryOp("-", Literal(0), Literal(5))
+        predicate = Comparison("<", ref, minus_five)
+        stats_of = (
+            lambda expr: stats if isinstance(expr, ColumnRef) else None
+        )
+        assert not predicate_can_match(predicate, stats_of)
+        assert predicate_selectivity(predicate, stats_of) == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Bug 2: empty columns / empty tables
+# --------------------------------------------------------------------------- #
+
+
+class TestEmptyTableStats:
+    def test_empty_column_stats_are_inert(self):
+        stats = compute_stats(
+            Column(np.array([], dtype=np.int64), DataType.INT64)
+        )
+        assert stats.n_rows == 0
+        ref = ColumnRef(None, "a")
+        stats_of = (
+            lambda expr: stats if isinstance(expr, ColumnRef) else None
+        )
+        # The fabricated min=max=0.0 bounds must never *keep* a chunk:
+        # a zero-row chunk satisfies no predicate.
+        assert not predicate_can_match(Comparison("=", ref, Literal(0)),
+                                       stats_of)
+        assert not predicate_can_match(Comparison("<", ref, Literal(10)),
+                                       stats_of)
+        # ... and must never drive a selectivity estimate.
+        sel = predicate_selectivity(Comparison("=", ref, Literal(0)),
+                                    stats_of)
+        assert sel == DEFAULT_SELECTIVITY
+
+    def test_empty_table_has_no_chunks(self):
+        table = Table.from_dict("t", {"a": np.array([], dtype=np.int64)})
+        assert ChunkedTable(table, 64).num_chunks == 0
+
+    @pytest.mark.parametrize("engine_name",
+                             ["reference", "ydb", "monetdb", "tcudb"])
+    def test_empty_table_end_to_end(self, engine_name):
+        catalog = _catalog_with("t", {"a": np.array([], dtype=np.int64),
+                                      "b": np.array([], dtype=np.float64)})
+        engine = create_engine(engine_name, catalog)
+        projected = engine.execute("SELECT a FROM t WHERE a = 0")
+        assert projected.n_rows == 0
+        grouped = engine.execute(
+            "SELECT a, COUNT(*) AS c FROM t GROUP BY a"
+        )
+        assert grouped.n_rows == 0
+        ungrouped = engine.execute(
+            "SELECT COUNT(*) AS c, SUM(b) AS s FROM t"
+        )
+        assert ungrouped.n_rows == 1, engine_name
+        assert int(ungrouped.table.column("c").data[0]) == 0
+        assert float(ungrouped.table.column("s").data[0]) == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Bug 3: ungrouped aggregates over zero qualifying rows
+# --------------------------------------------------------------------------- #
+
+
+class TestZeroRowUngroupedAggregates:
+    SQL = ("SELECT COUNT(*) AS c, SUM(a) AS s, AVG(a) AS v, "
+           "MIN(a) AS mn, MAX(a) AS mx FROM t WHERE a > 1000")
+
+    def _catalog(self):
+        return _catalog_with("t", {"a": np.arange(1, 200)})
+
+    @pytest.mark.parametrize("engine_name",
+                             ["reference", "ydb", "monetdb", "tcudb"])
+    def test_one_row_count_zero(self, engine_name):
+        engine = create_engine(engine_name, self._catalog())
+        result = engine.execute(self.SQL)
+        assert result.n_rows == 1, engine_name
+        table = result.require_table()
+        assert int(table.column("c").data[0]) == 0
+        for name in ("s", "v", "mn", "mx"):
+            assert float(table.column(name).data[0]) == 0.0, (engine_name,
+                                                              name)
+
+    def test_streaming_executor(self):
+        engine = ReferenceEngine(self._catalog(), streaming=True,
+                                 chunk_rows=32)
+        result = engine.execute(self.SQL)
+        assert result.n_rows == 1
+        assert int(result.table.column("c").data[0]) == 0
+
+    def test_tcu_native_path_synthesizes_the_row(self):
+        """A join+aggregate that matches zero pairs must return the row
+        from the TCU grid harvest itself (not only via fallback)."""
+        ssb = ssb_catalog(scale_factor=1, rows_per_sf=2000, seed=7)
+        engine = create_engine("tcudb", ssb)
+        result = engine.execute(
+            "SELECT SUM(lo_extendedprice * lo_discount) AS revenue "
+            "FROM lineorder, ddate "
+            "WHERE lo_orderdate = d_datekey AND d_year = 1888"
+        )
+        assert result.extra.get("executed_by") == "TCU"
+        assert result.n_rows == 1
+        assert float(result.table.column("revenue").data[0]) == 0.0
+
+    def test_grouped_zero_rows_still_empty(self):
+        for engine_name in ("reference", "ydb", "tcudb"):
+            engine = create_engine(engine_name, self._catalog())
+            result = engine.execute(
+                "SELECT a, COUNT(*) AS c FROM t WHERE a > 1000 GROUP BY a"
+            )
+            assert result.n_rows == 0, engine_name

@@ -94,11 +94,14 @@ class TestChunkedTable:
         with pytest.raises(StorageError):
             chunk_rows_policy(0)
 
-    def test_empty_table_has_one_empty_chunk(self):
+    def test_empty_table_has_zero_chunks(self):
+        # A zero-row table contributes no chunks at all: nothing to scan,
+        # nothing for stats to fabricate bounds over (the old single
+        # empty chunk reported min=max=0.0 and defeated pruning).
         table = Table.from_dict("t", {"a": np.array([], dtype=np.int64)})
         chunked = ChunkedTable(table, 8)
-        assert chunked.num_chunks == 1
-        assert chunked.chunks[0].num_rows == 0
+        assert chunked.num_chunks == 0
+        assert chunked.chunks == []
 
 
 class TestChunkPruning:

@@ -217,6 +217,30 @@ SSB_VARIANTS: dict[str, str] = {
           AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25
         HAVING COUNT(*) > 0;
     """,
+    # -- zero-row / constant-folding shapes (dialect: ungrouped agg over
+    #    zero rows returns one COUNT=0 row; grouped returns zero rows) -- #
+    "empty_global_agg": """
+        SELECT SUM(lo_revenue) AS s, COUNT(*) AS c, AVG(lo_quantity) AS q,
+               MIN(lo_discount) AS mn, MAX(lo_discount) AS mx
+        FROM lineorder WHERE lo_quantity > 999;
+    """,
+    "empty_join_global_agg": """
+        SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+        FROM lineorder, ddate
+        WHERE lo_orderdate = d_datekey AND d_year = 1888;
+    """,
+    "empty_grouped_agg": """
+        SELECT d_year, SUM(lo_revenue) AS r FROM lineorder, ddate
+        WHERE lo_orderdate = d_datekey AND lo_quantity > 999
+        GROUP BY d_year ORDER BY d_year;
+    """,
+    "negative_literal_filter": """
+        SELECT COUNT(*) AS c FROM lineorder WHERE lo_quantity < -5;
+    """,
+    "negative_literal_range": """
+        SELECT SUM(lo_revenue) AS s FROM lineorder
+        WHERE lo_discount > -1 AND lo_quantity BETWEEN -10 AND 20;
+    """,
 }
 
 MICRO_QUERIES: dict[str, str] = {
@@ -300,13 +324,16 @@ def test_corpus_exercises_both_tcu_paths(engines):
 
 def test_empty_global_aggregate_dialect(engines):
     """Dialect contract (docs/testing.md): a global aggregate over an
-    empty input yields zero rows — the NULL-free storage layer cannot
-    represent SQL's one-row (NULL, 0) answer — and every engine agrees."""
+    empty input yields the standard single row — COUNT = 0, and (the
+    storage layer being NULL-free) SUM/AVG/MIN/MAX = 0.0 where SQL
+    would return NULL — and every engine agrees."""
     sql = ("SELECT SUM(lo_revenue) AS s, COUNT(*) AS c FROM lineorder "
            "WHERE lo_quantity > 999")
     for name in ("reference", "ydb", "tcudb"):
         result = engines["ssb"][name].execute(sql)
-        assert result.n_rows == 0, name
+        assert result.n_rows == 1, name
+        assert float(result.table.column("s").data[0]) == 0.0, name
+        assert int(result.table.column("c").data[0]) == 0, name
 
 
 def test_oracle_is_deterministic(engines):
