@@ -1,0 +1,41 @@
+"""Compile-once serving: program-cache amortization on a repeated
+parameterized workload (docs/serving.md § Prepared statements & the
+program cache)."""
+
+from repro.bench import run_compile_cache
+from repro.bench.exp_compile_cache import STATEMENTS
+from repro.datasets.ssb import ssb_catalog
+from repro.engine.cache import ProgramCache
+from repro.engine.tcudb import TCUDBEngine
+
+
+def test_compile_cache_amortization(print_series, benchmark, bench_profile,
+                                    verifier):
+    result = run_compile_cache(profile=bench_profile, verifier=verifier)
+    print_series(result)
+    cold = result.find("repeated-workload", "TCUDB-cold")
+    warm = result.find("repeated-workload", "TCUDB-warm")
+    # The cold anchor is 1.0 by construction; the warm point's value is
+    # the cold/warm host-seconds ratio.
+    assert cold.seconds == 1.0
+    assert cold.host_seconds is not None and warm.host_seconds is not None
+    # The acceptance gate: amortized compilation must make the warm
+    # workload strictly faster than cold on the host.
+    assert warm.host_seconds < cold.host_seconds
+    assert warm.seconds > 1.0
+    # The invariants the experiment checks every run: identical rows and
+    # identical simulated device time warm-vs-cold.
+    notes = "\n".join(result.notes)
+    assert "divergences: 0" in notes
+    assert "identical warm/cold: True" in notes
+    # Hit-rate accounting: one miss per template, everything else hits.
+    assert "hit_rate=" in notes
+
+    catalog = ssb_catalog(
+        scale_factor=1, rows_per_sf=bench_profile.compile_cache_rows,
+        seed=47)
+    engine = TCUDBEngine(catalog, program_cache=ProgramCache())
+    template, schedule = STATEMENTS[0]
+    prepared = engine.prepare(template)
+    engine.execute_prepared(prepared, schedule[0])  # compile once
+    benchmark(lambda: engine.execute_prepared(prepared, schedule[0]))

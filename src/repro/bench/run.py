@@ -34,6 +34,7 @@ from repro.bench.exp_casestudies import (
     run_fig13,
     run_table1,
 )
+from repro.bench.exp_compile_cache import run_compile_cache
 from repro.bench.exp_concurrency import run_concurrency
 from repro.bench.exp_microbench import run_fig3, run_fig7, run_fig8, run_fig14
 from repro.bench.exp_ssb import run_fig9
@@ -93,6 +94,7 @@ def iter_experiments(
         lambda: run_ablation_transform_location(**kwargs))
     yield "ablation:fusion", lambda: run_ablation_fusion(**kwargs)
     yield "concurrency", lambda: run_concurrency(**kwargs)
+    yield "compile_cache", lambda: run_compile_cache(**kwargs)
 
 
 def run_suite(

@@ -81,6 +81,13 @@ class ScaleProfile:
     concurrency_rows: int = 20_000
     concurrency_chunk_rows: int = 2048
     concurrency_reps: int = 3
+    # Compile-once experiment: SSB generator rows, number of distinct
+    # parameterized statements, executions per statement in the repeated
+    # workload, and warm/cold host-timing repeats.
+    compile_cache_rows: int = 12_000
+    compile_cache_statements: int = 4
+    compile_cache_executions: int = 6
+    compile_cache_reps: int = 3
 
     def to_dict(self) -> dict:
         out = {}
@@ -126,6 +133,10 @@ SMOKE = ScaleProfile(
     concurrency_rows=8_000,
     concurrency_chunk_rows=1024,
     concurrency_reps=2,
+    compile_cache_rows=5_000,
+    compile_cache_statements=3,
+    compile_cache_executions=4,
+    compile_cache_reps=2,
 )
 
 #: Beyond-paper sweeps for the cost models (analytic-only).
@@ -154,6 +165,10 @@ STRESS = ScaleProfile(
     concurrency_rows=40_000,
     concurrency_chunk_rows=2048,
     concurrency_reps=3,
+    compile_cache_rows=30_000,
+    compile_cache_statements=6,
+    compile_cache_executions=10,
+    compile_cache_reps=3,
 )
 
 PROFILES: dict[str, ScaleProfile] = {

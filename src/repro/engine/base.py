@@ -18,6 +18,7 @@ from repro.common.errors import ReproError
 from repro.common.timing import TimingBreakdown
 from repro.sql.binder import BoundQuery, bind
 from repro.sql.parser import parse
+from repro.sql.prepared import PreparedStatement, prepare_statement
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
 
@@ -60,9 +61,38 @@ class Engine:
         self.catalog = catalog
         self.mode = mode
 
-    def execute(self, sql: str, params: dict | None = None) -> QueryResult:
+    def execute(
+        self,
+        sql: str | PreparedStatement,
+        params: dict | list | tuple | None = None,
+    ) -> QueryResult:
+        """One-shot execution: parse, bind (substituting any ``params``),
+        run.  A :class:`PreparedStatement` routes to
+        :meth:`execute_prepared`."""
+        if isinstance(sql, PreparedStatement):
+            return self.execute_prepared(sql, params)
         bound = bind(parse(sql), self.catalog, params)
         return self.execute_bound(bound)
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Compile-once front half: parse + deferred bind, returning the
+        immutable template ``execute_prepared`` (re-)binds values into.
+        Engines with a program cache also reuse the lowered program."""
+        return prepare_statement(parse(sql), self.catalog, sql)
+
+    def execute_prepared(
+        self,
+        prepared: PreparedStatement,
+        params: dict | list | tuple | None = None,
+    ) -> QueryResult:
+        """Execute a prepared template with this call's parameter values.
+
+        The base implementation substitutes values into the template's
+        already-classified predicate lists and runs the engine's normal
+        bound-query path — no re-parse, no re-resolution.
+        """
+        exec_bound, _ = prepared.bind_execution(params)
+        return self.execute_bound(exec_bound)
 
     def execute_bound(self, bound: BoundQuery) -> QueryResult:
         raise NotImplementedError

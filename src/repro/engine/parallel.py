@@ -18,6 +18,17 @@ shared catalog arrays that processes would have to serialize.
 an explicit override wins, then the ``REPRO_WORKERS`` environment knob,
 then 1 (sequential).  CI pins ``REPRO_WORKERS`` so test runs stay
 deterministic in their scheduling.
+
+Thread-safety contract: :func:`parallel_map` is a pure fan-out/fan-in —
+it owns its pool for the duration of one call and requires the chunk
+function to touch only its own chunk (read-only access to shared
+catalog arrays is fine; that is the whole point).  It is safe to call
+from multiple threads at once (each call builds its own executor),
+which is exactly what concurrent server queries do.
+:class:`CancellationToken` is thread-safe by construction — ``cancel``
+is an idempotent flag flip any thread may perform while workers poll —
+and is the only mutable object shared between a query's submitting
+thread and its executor.
 """
 
 from __future__ import annotations

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.common.errors import UnsupportedQueryError
 from repro.engine.base import Engine, ExecutionMode, QueryResult
+from repro.engine.cache import ProgramCache
 from repro.engine.physical import apply_order_limit
 from repro.engine.tcudb.cost import Strategy
 from repro.engine.tcudb.driver import TCUDriver
@@ -35,11 +36,13 @@ from repro.engine.tcudb.ops import FallbackRequired, OutputValue
 from repro.engine.tcudb.optimizer import TCUOptimizer
 from repro.engine.tcudb.patterns import MatchFailure
 from repro.engine.tcudb.program import ProgramContext
+from repro.engine.tcudb.specialize import specialize_program
 from repro.engine.ydb import YDBEngine
 from repro.hardware.calibration import run_calibration
 from repro.hardware.gpu import GPUDevice
 from repro.hardware.profiles import I7_7700K, HostProfile
 from repro.sql.binder import BoundColumn, BoundQuery
+from repro.sql.prepared import PreparedStatement
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
 from repro.storage.table import Table
@@ -90,8 +93,14 @@ class TCUDBEngine(Engine):
         host: HostProfile | None = None,
         mode: ExecutionMode = ExecutionMode.REAL,
         options: TCUDBOptions | None = None,
+        program_cache: ProgramCache | None = None,
     ):
         super().__init__(catalog, mode)
+        # Compile-once serving: when a ProgramCache is attached (e.g. by
+        # the QueryServer, shared across sessions), prepared executions
+        # reuse lowered+fused TensorPrograms keyed on normalized SQL,
+        # and one-shot execute() routes through the prepared path.
+        self.program_cache = program_cache
         self.device = device if device is not None else GPUDevice()
         self.host = host if host is not None else I7_7700K
         self.calibration = run_calibration(self.device, self.host)
@@ -120,9 +129,119 @@ class TCUDBEngine(Engine):
 
     # ------------------------------------------------------------------ #
 
+    def execute(
+        self,
+        sql: str | PreparedStatement,
+        params: dict | list | tuple | None = None,
+    ) -> QueryResult:
+        if isinstance(sql, PreparedStatement):
+            return self.execute_prepared(sql, params)
+        if self.program_cache is None:
+            return super().execute(sql, params)
+        # With a cache attached, one-shot statements route through the
+        # prepared path so repeated identical SQL reuses its program
+        # (literals render inline, so the normalized text is the key).
+        return self.execute_prepared(self.prepare(sql), params)
+
+    def execute_prepared(
+        self,
+        prepared: PreparedStatement,
+        params: dict | list | tuple | None = None,
+    ) -> QueryResult:
+        """Compile-once execution: lower the parameter template at most
+        once (per catalog fingerprint), then stamp this call's values in
+        via :func:`~repro.engine.tcudb.specialize.specialize_program`.
+
+        Cached lowering *failures* are reused too: a statement the
+        matcher rejects falls back to YDB without re-matching.  The
+        cost-model contract holds because every ``Gemm`` re-runs the
+        Figure 6 strategy decision per execution against the execution
+        bound — the cache freezes program *structure*, not the
+        literal-dependent density/precision choices.
+        """
+        exec_bound, values = prepared.bind_execution(params)
+        cache = self.program_cache
+        key = fingerprint = None
+        lowered = None
+        if cache is not None:
+            key = (prepared.normalized_sql, self._cache_options_key())
+            fingerprint = self.catalog.fingerprint()
+            lowered = cache.get(key, fingerprint)
+        if lowered is None:
+            lowered = lower_query(prepared.bound, self.mode,
+                                  fusion=self.options.fusion,
+                                  streaming=self.options.stream_prestage)
+            if cache is not None:
+                cache.put(key, fingerprint, lowered)
+        specialized = lowered
+        if isinstance(lowered, LoweredQuery):
+            specialized = LoweredQuery(
+                program=specialize_program(lowered.program, exec_bound,
+                                           values),
+                pattern=lowered.pattern,
+                hybrid=lowered.hybrid,
+            )
+
+        def relower() -> LoweredQuery | MatchFailure:
+            hybrid = lower_hybrid(prepared.bound, self.mode,
+                                  fusion=self.options.fusion,
+                                  streaming=self.options.stream_prestage)
+            if not isinstance(hybrid, LoweredQuery):
+                return hybrid
+            if cache is not None:
+                # The pattern program failed on a data-dependent shape
+                # that is stable under this fingerprint (the data can
+                # only change by re-registering, which changes the
+                # fingerprint) — remember the hybrid template instead.
+                cache.put(key, fingerprint, hybrid)
+            return LoweredQuery(
+                program=specialize_program(hybrid.program, exec_bound,
+                                           values),
+                pattern=hybrid.pattern,
+                hybrid=hybrid.hybrid,
+            )
+
+        return self._run_lowered(exec_bound, specialized, relower)
+
+    def _cache_options_key(self) -> tuple:
+        """Compile-relevant engine configuration, part of the cache key.
+
+        Every option that changes what ``lower_query`` produces (or how
+        operators execute) except ``workers``: morsel parallelism is
+        bit-identical to sequential execution by contract, so sessions
+        with different worker counts share programs.
+        """
+        options = self.options
+        return (
+            self.mode.value,
+            options.force_strategy,
+            options.force_precision,
+            options.require_exact,
+            options.disable_fallback,
+            options.force_cpu_transform,
+            options.fusion,
+            options.chunked_execution,
+            options.chunk_rows,
+            options.stream_prestage,
+        )
+
     def execute_bound(self, bound: BoundQuery) -> QueryResult:
         lowered = lower_query(bound, self.mode, fusion=self.options.fusion,
                               streaming=self.options.stream_prestage)
+
+        def relower() -> LoweredQuery | MatchFailure:
+            return lower_hybrid(bound, self.mode,
+                                fusion=self.options.fusion,
+                                streaming=self.options.stream_prestage)
+
+        return self._run_lowered(bound, lowered, relower)
+
+    def _run_lowered(
+        self,
+        bound: BoundQuery,
+        lowered: LoweredQuery | MatchFailure,
+        relower,
+    ) -> QueryResult:
         if isinstance(lowered, MatchFailure):
             return self._fall_back(bound, lowered.reason, lowered.kind)
         ctx = self._context(bound)
@@ -133,9 +252,7 @@ class TCUDBEngine(Engine):
                 # The pattern program discovered a data-dependent shape
                 # problem (e.g. duplicate-key dimensions) at run time;
                 # retry through the hybrid pipeline before giving up.
-                hybrid = lower_hybrid(bound, self.mode,
-                                      fusion=self.options.fusion,
-                                      streaming=self.options.stream_prestage)
+                hybrid = relower()
                 if isinstance(hybrid, LoweredQuery):
                     ctx = self._context(bound)
                     try:

@@ -44,6 +44,7 @@ from repro.engine.tcudb.patterns import (
     PatternKind,
     TCUPattern,
     build_having_nodes,
+    is_parameter_constant,
     match_pattern,
 )
 from repro.engine.tcudb.program import TensorProgram
@@ -441,6 +442,10 @@ def lower_hybrid(
     for predicate in bound.having:
         for expr in walk_predicate_exprs(predicate):
             if isinstance(expr, Literal) and isinstance(expr.value, str):
+                continue
+            if is_parameter_constant(expr):
+                # Folds to a literal once parameter values bind;
+                # specialization installs the folded ConstRef.
                 continue
             if expr in having_nodes:
                 continue

@@ -33,6 +33,7 @@ from repro.sql.ast_nodes import (
     ColumnRef,
     Expr,
     Literal,
+    Parameter,
 )
 from repro.sql.binder import BoundColumn, BoundQuery, JoinPredicate
 
@@ -173,6 +174,10 @@ def build_having_nodes(
                 # String literals are encoded against the compared
                 # column's dictionary by the predicate interpreter.
                 continue
+            if is_parameter_constant(expr):
+                # Parameter-only operands fold to literals at execution;
+                # specialization installs the folded ConstRef.
+                continue
             if expr in nodes:
                 continue
             node = _build_output_node(expr, bound, pattern.aggregates,
@@ -184,6 +189,21 @@ def build_having_nodes(
 
 
 # -- join-only patterns ---------------------------------------------------------- #
+
+
+def is_parameter_constant(expr: Expr) -> bool:
+    """True for expressions that are constant *up to parameters*: every
+    leaf is a literal or an unbound :class:`Parameter`, with at least one
+    parameter present.  They fold to plain literals once values bind, so
+    template lowering treats them like literal operands (HAVING skips
+    them; specialization installs the folded constant)."""
+    saw_parameter = False
+    for node in expr.walk():
+        if isinstance(node, Parameter):
+            saw_parameter = True
+        elif not isinstance(node, (Literal, BinaryOp)):
+            return False
+    return saw_parameter
 
 
 def constant_value(expr: Expr) -> float | None:

@@ -22,7 +22,23 @@ shape:
   boundaries) and result rows (enforced on completion);
 * **cooperative cancellation** — :meth:`QueryTicket.cancel` flips the
   query's token; a streaming query stops at its next chunk boundary and
-  the ticket resolves with :class:`~repro.common.errors.QueryCancelled`.
+  the ticket resolves with :class:`~repro.common.errors.QueryCancelled`;
+* **compile-once serving** — the server owns one shared
+  :class:`~repro.engine.cache.ProgramCache`; every TCUDB session engine
+  attaches to it, so a statement is lowered/fused once and every
+  session afterwards reuses the program (see
+  :meth:`Session.prepare` and docs/serving.md).
+
+Thread-safety contract: ``QueryServer`` internals (queue, counters,
+lifecycle flags) are guarded by one lock; ``submit``/``execute``/
+``prepare``/``stats``/``cache_stats`` may be called from any thread.
+A ``Session`` itself is *not* a concurrency primitive — its lazily
+built engine carries per-query state (cancellation token, optimizer
+decisions), so one session's queries serialize on the server pool while
+distinct sessions run concurrently.  Shared read-only structures — the
+catalog, cached ``TensorProgram`` templates, ``PreparedStatement``
+objects — are safe to share across all sessions; per-run state lives in
+each execution's private ``ProgramContext``.
 """
 
 from __future__ import annotations
@@ -35,7 +51,9 @@ from enum import Enum
 from repro.common.errors import AdmissionError, ExecutionError, QueryCancelled
 from repro.engine import create_engine
 from repro.engine.base import QueryResult
+from repro.engine.cache import ProgramCache
 from repro.engine.parallel import CancellationToken, workers_policy
+from repro.sql.prepared import PreparedStatement
 from repro.storage.catalog import Catalog
 
 
@@ -65,8 +83,14 @@ class TicketState(Enum):
 class QueryTicket:
     """Handle for one submitted query: await it, or cancel it."""
 
-    def __init__(self, sql: str, token: CancellationToken):
+    def __init__(
+        self,
+        sql: str | PreparedStatement,
+        token: CancellationToken,
+        params: dict | list | tuple | None = None,
+    ):
         self.sql = sql
+        self.params = params
         self.token = token
         self._done = threading.Event()
         self._result: QueryResult | None = None
@@ -138,6 +162,7 @@ class QueryServer:
         workers: int | None = None,
         default_budget: QueryBudget | None = None,
         engine_kwargs: dict | None = None,
+        program_cache: ProgramCache | None = None,
     ):
         if max_concurrent <= 0:
             raise ExecutionError("max_concurrent must be positive")
@@ -150,6 +175,10 @@ class QueryServer:
         self.workers = workers_policy(workers)
         self.default_budget = default_budget or QueryBudget()
         self.engine_kwargs = dict(engine_kwargs or {})
+        # One program cache for the whole server: lowering is memoized
+        # across sessions (the cache is internally locked; cached
+        # programs are stateless templates, so sharing is safe).
+        self.program_cache = program_cache or ProgramCache()
         self._lock = threading.Lock()
         self._queue: list[tuple[QueryTicket, Session]] = []
         self._running = 0
@@ -174,11 +203,12 @@ class QueryServer:
 
     # -- admission ------------------------------------------------------ #
 
-    def _submit(self, session: "Session", sql: str,
-                budget: QueryBudget | None) -> QueryTicket:
+    def _submit(self, session: "Session", sql: str | PreparedStatement,
+                budget: QueryBudget | None,
+                params: dict | list | tuple | None = None) -> QueryTicket:
         budget = budget or self.default_budget
         token = CancellationToken(deadline_s=budget.max_seconds)
-        ticket = QueryTicket(sql, token)
+        ticket = QueryTicket(sql, token, params=params)
         ticket._budget = budget  # type: ignore[attr-defined]
         with self._lock:
             if self._closed:
@@ -224,7 +254,11 @@ class QueryServer:
             # Engines poll the token at chunk/operator boundaries.
             engine.cancel_token = ticket.token
             try:
-                result = engine.execute(ticket.sql)
+                if ticket.params is None:
+                    result = engine.execute(ticket.sql)
+                else:
+                    result = engine.execute(ticket.sql,
+                                            params=ticket.params)
             finally:
                 engine.cancel_token = None
             if budget.max_rows is not None and result.n_rows > budget.max_rows:
@@ -244,6 +278,12 @@ class QueryServer:
         with self._lock:
             self.stats["completed"] += 1
         ticket._resolve(result)
+
+    # -- observability --------------------------------------------------- #
+
+    def cache_stats(self) -> dict:
+        """Snapshot of the shared program cache's counters."""
+        return self.program_cache.stats()
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -311,6 +351,8 @@ class Session:
                     options = kwargs.pop("options", None) or TCUDBOptions()
                     options.workers = self.server.workers
                     kwargs["options"] = options
+                    kwargs.setdefault("program_cache",
+                                      self.server.program_cache)
                 else:
                     import inspect
 
@@ -327,17 +369,29 @@ class Session:
                     self._engine_instance.cancel_token = None
             return self._engine_instance
 
-    def submit(self, sql: str,
-               budget: QueryBudget | None = None) -> QueryTicket:
-        """Enqueue one query; raises AdmissionError when the server is
-        saturated past its queue bound."""
-        return self.server._submit(self, sql, budget)
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Compile a statement once for repeated execution.
 
-    def execute(self, sql: str,
+        The returned template is immutable and may be executed with any
+        parameter values, by this session or any other on the same
+        server (its compiled program lives in the server-wide cache).
+        """
+        return self._engine().prepare(sql)
+
+    def submit(self, sql: str | PreparedStatement,
+               budget: QueryBudget | None = None,
+               params: dict | list | tuple | None = None) -> QueryTicket:
+        """Enqueue one query (SQL text or a prepared statement, with
+        optional parameter values); raises AdmissionError when the
+        server is saturated past its queue bound."""
+        return self.server._submit(self, sql, budget, params=params)
+
+    def execute(self, sql: str | PreparedStatement,
                 budget: QueryBudget | None = None,
-                timeout: float | None = None) -> QueryResult:
+                timeout: float | None = None,
+                params: dict | list | tuple | None = None) -> QueryResult:
         """Submit and block for the result."""
-        return self.submit(sql, budget).result(timeout)
+        return self.submit(sql, budget, params=params).result(timeout)
 
 
 __all__ = [

@@ -121,10 +121,24 @@ class BoundQuery:
         return bool(self.aggregates())
 
 
-def substitute_parameters(expr: Expr, params: dict[str, object]) -> Expr:
-    """Replace @parameters with literals, recursively."""
+def substitute_parameters(
+    expr: Expr,
+    params: dict[str, object],
+    defer: bool = False,
+) -> Expr:
+    """Replace @parameters with literals, recursively.
+
+    With ``defer=True`` a parameter without a supplied value is left in
+    place instead of raising — the deferred-binding mode ``prepare``
+    uses to build a reusable parameter-typed template.  Statistics
+    treat the surviving :class:`Parameter` nodes as unknown values
+    (default selectivity, no pruning), so the template's structure is
+    valid for *every* later parameter binding.
+    """
     if isinstance(expr, Parameter):
         if expr.name not in params:
+            if defer:
+                return expr
             raise BindError(f"missing value for parameter @{expr.name}")
         value = params[expr.name]
         if not isinstance(value, (int, float, str)):
@@ -133,32 +147,40 @@ def substitute_parameters(expr: Expr, params: dict[str, object]) -> Expr:
     if isinstance(expr, BinaryOp):
         return BinaryOp(
             op=expr.op,
-            left=substitute_parameters(expr.left, params),
-            right=substitute_parameters(expr.right, params),
+            left=substitute_parameters(expr.left, params, defer),
+            right=substitute_parameters(expr.right, params, defer),
         )
     if isinstance(expr, AggregateCall) and expr.argument is not None:
         return AggregateCall(
             func=expr.func,
-            argument=substitute_parameters(expr.argument, params),
+            argument=substitute_parameters(expr.argument, params, defer),
         )
     return expr
 
 
-def _substitute_predicate(pred: Predicate, params: dict[str, object]) -> Predicate:
+def _substitute_predicate(
+    pred: Predicate,
+    params: dict[str, object],
+    defer: bool = False,
+) -> Predicate:
     # Constant-fold after substitution: unary minus parses as (0 - x)
     # and @parameters may complete literal arithmetic — unfolded
     # constants blind statistics-based pruning and selectivity.
     return map_predicate_exprs(
-        pred, lambda expr: fold_constants(substitute_parameters(expr, params))
+        pred,
+        lambda expr: fold_constants(
+            substitute_parameters(expr, params, defer)
+        ),
     )
 
 
 class _Binder:
     def __init__(self, statement: SelectStatement, catalog: Catalog,
-                 params: dict[str, object]):
+                 params: dict[str, object], defer: bool = False):
         self._statement = statement
         self._catalog = catalog
         self._params = params
+        self._defer = defer
         self._tables: list[BoundTable] = []
         self._resolution: dict[ColumnRef, BoundColumn] = {}
 
@@ -174,7 +196,8 @@ class _Binder:
         order_by = [
             OrderItem(
                 expr=fold_constants(
-                    substitute_parameters(item.expr, self._params)
+                    substitute_parameters(item.expr, self._params,
+                                          self._defer)
                 ),
                 descending=item.descending,
             )
@@ -252,7 +275,9 @@ class _Binder:
         self._resolve_column(ref)
 
     def _bind_expr(self, expr: Expr) -> Expr:
-        expr = fold_constants(substitute_parameters(expr, self._params))
+        expr = fold_constants(
+            substitute_parameters(expr, self._params, self._defer)
+        )
         for node in expr.walk():
             if isinstance(node, ColumnRef):
                 self._resolve_column(node)
@@ -267,7 +292,9 @@ class _Binder:
         group_by: list[BoundColumn] = []
         group_exprs: dict[str, Expr] = {}
         for expr in statement.group_by:
-            expr = fold_constants(substitute_parameters(expr, self._params))
+            expr = fold_constants(
+                substitute_parameters(expr, self._params, self._defer)
+            )
             if isinstance(expr, ColumnRef):
                 group_by.append(self._resolve_column(expr))
                 continue
@@ -333,7 +360,8 @@ class _Binder:
         }
         residuals: list[Predicate] = []
         for predicate in statement.where:
-            predicate = _substitute_predicate(predicate, self._params)
+            predicate = _substitute_predicate(predicate, self._params,
+                                          self._defer)
             join = self._try_join_predicate(predicate)
             if join is not None:
                 joins.append(join)
@@ -348,7 +376,8 @@ class _Binder:
         return joins, filters, residuals
 
     def _bind_having(self, predicate: Predicate) -> Predicate:
-        predicate = _substitute_predicate(predicate, self._params)
+        predicate = _substitute_predicate(predicate, self._params,
+                                          self._defer)
         for expr in walk_predicate_exprs(predicate):
             self._validate_aggregate_nesting(expr)
             for node in expr.walk():
@@ -381,7 +410,33 @@ class _Binder:
 def bind(
     statement: SelectStatement,
     catalog: Catalog,
-    params: dict[str, object] | None = None,
+    params: dict[str, object] | list | tuple | None = None,
+    defer: bool = False,
 ) -> BoundQuery:
-    """Resolve a parsed statement against the catalog."""
-    return _Binder(statement, catalog, params or {}).bind()
+    """Resolve a parsed statement against the catalog.
+
+    ``params`` supplies parameter values: a dict keyed by ``@name`` (or
+    by ordinal string for ``?`` markers), or a positional list/tuple
+    that binds ``?`` markers left to right.  With ``defer=True``,
+    parameters without values survive as :class:`Parameter` nodes — the
+    template-binding mode behind :func:`repro.sql.prepared.prepare_statement`.
+    """
+    return _Binder(statement, catalog, param_map(params), defer).bind()
+
+
+def param_map(params: dict[str, object] | list | tuple | None) -> dict:
+    """Normalize a parameter collection to the dict the binder consumes.
+
+    Positional sequences map to the ordinal names the parser assigned
+    to ``?`` markers ("0", "1", ... in lexical order).
+    """
+    if params is None:
+        return {}
+    if isinstance(params, dict):
+        return params
+    if isinstance(params, (list, tuple)):
+        return {str(index): value for index, value in enumerate(params)}
+    raise BindError(
+        f"parameters must be a dict, list or tuple, not "
+        f"{type(params).__name__}"
+    )

@@ -4,7 +4,8 @@ Produces a flat token stream for the recursive-descent parser.  The
 accepted lexicon covers the paper's entire workload: SELECT/FROM/WHERE
 joins, GROUP BY, ORDER BY, aggregates, BETWEEN, IN, arithmetic and
 comparison operators, string/number literals, qualified identifiers and
-``--`` line comments.
+``--`` line comments, and the two parameter-placeholder spellings
+(``@name`` named markers and positional ``?`` markers).
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ class TokenType(enum.Enum):
     NUMBER = "number"
     STRING = "string"
     OPERATOR = "operator"  # = < > <= >= <> != + - * / %
-    PUNCT = "punct"  # ( ) , . ; *
+    PUNCT = "punct"  # ( ) , . ; * ?
     END = "end"
 
 
@@ -43,7 +44,7 @@ class Token:
 
 _TWO_CHAR_OPS = ("<=", ">=", "<>", "!=")
 _ONE_CHAR_OPS = "=<>+-/%"
-_PUNCT = "(),.;*"
+_PUNCT = "(),.;*?"
 
 
 def tokenize(text: str) -> list[Token]:

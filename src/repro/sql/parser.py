@@ -54,6 +54,10 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        # Positional ``?`` placeholders are numbered left to right in
+        # lexical order ("0", "1", ...), the order a parameter list
+        # passed to ``execute_prepared`` binds them in.
+        self._param_ordinal = 0
 
     # -- token helpers ---------------------------------------------------- #
 
@@ -307,6 +311,10 @@ class _Parser:
             return Literal(int(value) if value.is_integer() else value)
         if token.type == TokenType.STRING:
             return Literal(token.value)
+        if token.type == TokenType.PUNCT and token.value == "?":
+            name = str(self._param_ordinal)
+            self._param_ordinal += 1
+            return Parameter(name=name)
         if token.type == TokenType.PUNCT and token.value == "(":
             inner = self._parse_expr()
             self._expect_punct(")")

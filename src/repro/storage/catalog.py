@@ -44,6 +44,19 @@ class Catalog:
     def table_names(self) -> list[str]:
         return sorted(self._tables)
 
+    def fingerprint(self) -> tuple:
+        """Identity of the catalog *contents* at this instant.
+
+        A sorted tuple of (name, table uid) pairs: registering,
+        replacing, or dropping any table changes it.  Table objects are
+        immutable (statistics are derived lazily from fixed columns), so
+        equal fingerprints imply identical data and statistics — the
+        invalidation contract the program cache keys on.
+        """
+        return tuple(
+            (name, table.uid) for name, table in sorted(self._tables.items())
+        )
+
     def __len__(self) -> int:
         return len(self._tables)
 

@@ -9,6 +9,7 @@ free from column immutability).
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Iterable, Mapping
 
 import numpy as np
@@ -22,6 +23,14 @@ from repro.storage.types import DataType
 class Table:
     """A named collection of equal-length columns."""
 
+    #: Process-wide monotonic identity counter.  ``uid`` identifies a
+    #: *table version*: re-registering a table with new contents means a
+    #: new Table object and thus a new uid, which is what makes
+    #: ``Catalog.fingerprint`` (and the program cache keyed on it)
+    #: observe data changes.  A plain ``id()`` would not work — CPython
+    #: recycles addresses, so a dropped table could alias a new one.
+    _uid_counter = itertools.count(1)
+
     def __init__(self, name: str, columns: Mapping[str, Column]):
         if not columns:
             raise SchemaError(f"table {name!r} needs at least one column")
@@ -31,6 +40,7 @@ class Table:
                 f"table {name!r} has ragged columns: lengths {sorted(lengths)}"
             )
         self.name = name
+        self.uid = next(Table._uid_counter)
         self._columns: dict[str, Column] = dict(columns)
         self._stats: dict[str, ColumnStats] = {}
         self._chunked: dict[int, object] = {}  # chunk_rows -> ChunkedTable

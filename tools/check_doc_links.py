@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Docs link checker: every relative link in README.md and docs/*.md
+must resolve.
+
+Checks, for each markdown link ``[text](target)``:
+
+* relative file targets exist (resolved against the linking file's
+  directory, repo-escaping paths rejected);
+* fragment targets (``file.md#anchor`` and in-page ``#anchor``) match a
+  heading in the target document, using GitHub's anchor slugification
+  (lowercase, punctuation stripped, spaces to hyphens);
+* external ``http(s)``/``mailto`` links are skipped (no network in CI).
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed as ``file:line: message``).  Pure standard library — run as
+``python tools/check_doc_links.py`` from the repo root, or pass an
+explicit repo root as the first argument.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — target captured up to the closing paren; images
+#: (``![alt](src)``) match the same way and are checked the same way.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: ATX headings, the only style these docs use.
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's markdown anchor for a heading: lowercase, drop
+    everything but word characters/spaces/hyphens, spaces to hyphens
+    (consecutive hyphens are kept, e.g. "A & B" -> "a--b")."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code spans
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor a markdown file defines."""
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            anchors.add(slugify(match.group(1)))
+    return anchors
+
+
+def iter_links(path: Path):
+    """(line_number, target) for every markdown link outside code
+    fences (inline code spans are stripped line-wise)."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for match in LINK.finditer(stripped):
+            yield number, match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    anchor_cache: dict[Path, set[str]] = {}
+
+    def anchors(target: Path) -> set[str]:
+        if target not in anchor_cache:
+            anchor_cache[target] = anchors_of(target)
+        return anchor_cache[target]
+
+    for number, raw in iter_links(path):
+        if raw.startswith(EXTERNAL):
+            continue
+        where = f"{path.relative_to(root)}:{number}"
+        target_part, _, fragment = raw.partition("#")
+        if target_part:
+            target = (path.parent / target_part).resolve()
+            if not target.is_relative_to(root.resolve()):
+                errors.append(f"{where}: link escapes the repo: {raw}")
+                continue
+            if not target.exists():
+                errors.append(f"{where}: broken link: {raw}")
+                continue
+        else:
+            target = path  # in-page "#anchor"
+        if fragment and target.suffix == ".md":
+            if fragment not in anchors(target):
+                errors.append(
+                    f"{where}: missing anchor #{fragment} in "
+                    f"{target.relative_to(root)} (link: {raw})"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path.cwd()
+    root = root.resolve()
+    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    files = [f for f in files if f.exists()]
+    if not files:
+        print(f"no documentation files found under {root}")
+        return 1
+    errors = []
+    checked = 0
+    for path in files:
+        links = list(iter_links(path))
+        checked += len(links)
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error)
+    print(f"{len(files)} files, {checked} links, {len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
