@@ -1,0 +1,33 @@
+"""Data-parallel shard scaling (docs/architecture.md § Sharded
+data-parallel execution)."""
+
+from repro.bench import run_scaleout
+from repro.datasets.ssb import ssb_catalog
+from repro.engine.tcudb import DistributedEngine, TCUDBOptions
+
+
+def test_scaleout_sharding(print_series, benchmark, bench_profile,
+                           verifier):
+    result = run_scaleout(profile=bench_profile, verifier=verifier)
+    print_series(result)
+    # The shards=1 anchor of each series is exactly 1.0 by construction.
+    for engine in result.engines():
+        assert result.find("shards=1", engine).seconds == 1.0
+    # The invariants the experiment checks on every run must hold: no
+    # sharded run may diverge from the anchor beyond TCU tolerance, the
+    # ascending-shard merge must be repeat-run deterministic, and every
+    # distributed point must carry the allreduce cost in its listing.
+    invariants = [n for n in result.notes if "divergences" in n]
+    assert invariants and "divergences (rel=0.002): 0" in invariants[0]
+    assert "determinism violations: 0" in invariants[0]
+    assert "allreduce ledger term: 0" in invariants[0]
+    catalog = ssb_catalog(scale_factor=1,
+                          rows_per_sf=bench_profile.scaleout_rows,
+                          seed=47)
+    engine = DistributedEngine(
+        catalog, shards=2, fact="lineorder", partition_key="lo_orderkey",
+        options=TCUDBOptions(chunk_rows=bench_profile.scaleout_chunk_rows),
+    )
+    from repro.bench.exp_scaleout import JOIN_AGG_SQL
+
+    benchmark(lambda: engine.execute(JOIN_AGG_SQL))

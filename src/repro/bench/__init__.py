@@ -19,6 +19,7 @@ from repro.bench.exp_casestudies import (
 from repro.bench.exp_compile_cache import run_compile_cache
 from repro.bench.exp_concurrency import run_concurrency
 from repro.bench.exp_microbench import run_fig3, run_fig7, run_fig8, run_fig14
+from repro.bench.exp_scaleout import run_scaleout
 from repro.bench.exp_ssb import run_fig9
 from repro.bench.exp_tables import run_table4, run_tables23
 from repro.bench.harness import (
@@ -55,6 +56,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_scaleout",
     "run_table1",
     "run_table4",
     "run_tables23",

@@ -37,6 +37,7 @@ from repro.bench.exp_casestudies import (
 from repro.bench.exp_compile_cache import run_compile_cache
 from repro.bench.exp_concurrency import run_concurrency
 from repro.bench.exp_microbench import run_fig3, run_fig7, run_fig8, run_fig14
+from repro.bench.exp_scaleout import run_scaleout
 from repro.bench.exp_ssb import run_fig9
 from repro.bench.exp_tables import run_table4, run_tables23
 from repro.bench.harness import ExperimentResult, geometric_mean_ratio
@@ -95,6 +96,7 @@ def iter_experiments(
     yield "ablation:fusion", lambda: run_ablation_fusion(**kwargs)
     yield "concurrency", lambda: run_concurrency(**kwargs)
     yield "compile_cache", lambda: run_compile_cache(**kwargs)
+    yield "scaleout", lambda: run_scaleout(**kwargs)
 
 
 def run_suite(

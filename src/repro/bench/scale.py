@@ -81,6 +81,14 @@ class ScaleProfile:
     concurrency_rows: int = 20_000
     concurrency_chunk_rows: int = 2048
     concurrency_reps: int = 3
+    # Scale-out experiment: shard counts for the distributed speedup
+    # curve, SSB generator rows, morsel size and host-timing repeats
+    # (REAL mode; the value reported is a host speedup ratio over the
+    # one-shard anchor).
+    scaleout_shards: tuple[int, ...] = (1, 2, 4)
+    scaleout_rows: int = 20_000
+    scaleout_chunk_rows: int = 2048
+    scaleout_reps: int = 3
     # Compile-once experiment: SSB generator rows, number of distinct
     # parameterized statements, executions per statement in the repeated
     # workload, and warm/cold host-timing repeats.
@@ -133,6 +141,10 @@ SMOKE = ScaleProfile(
     concurrency_rows=8_000,
     concurrency_chunk_rows=1024,
     concurrency_reps=2,
+    scaleout_shards=(1, 2, 4),
+    scaleout_rows=8_000,
+    scaleout_chunk_rows=1024,
+    scaleout_reps=2,
     compile_cache_rows=5_000,
     compile_cache_statements=3,
     compile_cache_executions=4,
@@ -165,6 +177,10 @@ STRESS = ScaleProfile(
     concurrency_rows=40_000,
     concurrency_chunk_rows=2048,
     concurrency_reps=3,
+    scaleout_shards=(1, 2, 4, 8),
+    scaleout_rows=40_000,
+    scaleout_chunk_rows=2048,
+    scaleout_reps=3,
     compile_cache_rows=30_000,
     compile_cache_statements=6,
     compile_cache_executions=10,

@@ -29,6 +29,10 @@ from repro.engine.tcudb.driver import (
     TCUDriver,
     build_coo_operands,
 )
+from repro.engine.tcudb.distributed import (
+    STAGE_SHARD_MERGE,
+    DistributedEngine,
+)
 from repro.engine.tcudb.engine import TCUDBEngine, TCUDBOptions
 from repro.engine.tcudb.fuse import fuse_program
 from repro.engine.tcudb.feasibility import (
@@ -67,6 +71,7 @@ __all__ = [
     "AggregateSpec",
     "BatchedGemm",
     "CompositeKey",
+    "DistributedEngine",
     "FallbackRequired",
     "FeasibilityReport",
     "GeneratedProgram",
@@ -83,6 +88,7 @@ __all__ = [
     "PreparedAggSide",
     "PreparedJoin",
     "ProgramContext",
+    "STAGE_SHARD_MERGE",
     "SideMatrix",
     "Strategy",
     "TCUDBEngine",

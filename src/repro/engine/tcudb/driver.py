@@ -19,7 +19,9 @@ operator retained for the driver-level property tests.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -98,6 +100,11 @@ class PreparedAggSide:
     # binding.column keys of the group columns, in composite-code order
     # (used to decode grid rows back into output columns).
     group_order: list[str] = field(default_factory=list)
+    # Streamed fill (the B side of ValueFill): per-aggregate fill values
+    # are computed on demand — whole-side or one key-domain chunk's
+    # tuple selection — instead of being materialized up front, so at
+    # most one aggregate slice of one chunk is ever live.
+    value_fill: Callable[[int, np.ndarray | None], np.ndarray] | None = None
 
     @property
     def g(self) -> int:
@@ -107,6 +114,26 @@ class PreparedAggSide:
         if self.group is None:
             return np.zeros(self.keys_mapped.size, dtype=np.int64)
         return self.group.codes
+
+    def values_for(self, index: int,
+                   selection: np.ndarray | None = None) -> np.ndarray:
+        """Fill values of aggregate ``index``, optionally restricted to a
+        tuple ``selection`` (boolean mask or index array).  Slicing the
+        factor columns before the elementwise products is bit-identical
+        to slicing the materialized product."""
+        if self.value_fill is not None:
+            return self.value_fill(index, selection)
+        values = np.asarray(self.values_per_agg[index])
+        return values if selection is None else values[selection]
+
+
+def _resolve_values(values, selection: np.ndarray | None = None):
+    """Materialize one fill-value operand: a plain array (optionally
+    sliced) or a streamed-fill thunk called with the selection."""
+    if callable(values):
+        return values(selection)
+    arr = np.asarray(values)
+    return arr if selection is None else arr[selection]
 
 
 @dataclass
@@ -440,7 +467,7 @@ class TCUDriver:
             grids.append(
                 self._one_grid(
                     left, right, k, left.values_per_agg[i],
-                    right.values_per_agg[i], plan,
+                    partial(right.values_for, i), plan,
                 )
             )
         return grids, count_grid
@@ -448,23 +475,26 @@ class TCUDriver:
     def _one_grid(self, left, right, k, left_values, right_values, plan):
         # Indicator products stay exact at any TCU precision; value
         # products run at the plan's precision.  Sparse plans build the
-        # operands straight in COO (no dense intermediate).
+        # operands straight in COO (no dense intermediate).  The B side's
+        # values may arrive as a streamed-fill thunk; the chunked path
+        # below fills it one key-domain chunk at a time.
         if plan.strategy == Strategy.SPARSE:
             mat_a = build_coo_operands(left, k).coo(left_values)
-            mat_b = build_coo_operands(right, k).coo(right_values)
+            mat_b = build_coo_operands(right, k).coo(
+                _resolve_values(right_values))
             return self._execute_gemm(mat_a, mat_b.transpose(), plan)
         if self.chunk_rows is not None and k > self.chunk_rows:
             return self._grid_accumulate(left, right, k,
                                          [np.asarray(left_values,
                                                      dtype=np.float64)],
-                                         [np.asarray(right_values,
-                                                     dtype=np.float64)],
+                                         [right_values],
                                          plan)[0]
         mat_a = dense_from_coo(
             left.row_codes(), left.keys_mapped, left_values, (left.g, k)
         )
         mat_b = dense_from_coo(
-            right.row_codes(), right.keys_mapped, right_values, (right.g, k)
+            right.row_codes(), right.keys_mapped,
+            _resolve_values(right_values), (right.g, k)
         )
         return self._execute_gemm(mat_a, mat_b.T, plan)
 
@@ -477,7 +507,10 @@ class TCUDriver:
         them and accumulates the partial grids — the tiled-matmul
         identity ``A @ B.T == sum_c A[:, c] @ B[:, c].T`` over column
         chunks ``c``.  Only one slice pair is live at a time, so the
-        dense numeric path scales to any key-domain size.
+        dense numeric path scales to any key-domain size.  B-side value
+        entries may be streamed-fill thunks: each chunk then fills only
+        its own tuple selection, so the full B-side value arrays are
+        never materialized.
         """
         chunk = self.chunk_rows
         n_slices = len(left_values_list)
@@ -499,7 +532,8 @@ class TCUDriver:
                 )
                 mat_b = dense_from_coo(
                     rrows[rsel], rkeys[rsel] - k0,
-                    np.asarray(right_values_list[i])[rsel], (right.g, kc),
+                    _resolve_values(right_values_list[i], rsel),
+                    (right.g, kc),
                 )
                 partials.append(self._execute_gemm(mat_a, mat_b.T, plan))
             return partials
@@ -539,13 +573,14 @@ class TCUDriver:
                 continue
             value_index.append(i)
             left_values.append(left.values_per_agg[i])
-            right_values.append(right.values_per_agg[i])
+            right_values.append(partial(right.values_for, i))
         if plan.strategy == Strategy.SPARSE:
             # Shared structure + per-aggregate direct-COO tile builds.
             stacked = [
                 self._execute_gemm(
                     left_structure.coo(lv),
-                    right_structure.coo(rv).transpose(), plan,
+                    right_structure.coo(_resolve_values(rv)).transpose(),
+                    plan,
                 )
                 for lv, rv in zip(left_values, right_values)
             ]
@@ -560,7 +595,8 @@ class TCUDriver:
             )
         else:
             a_stack = left_structure.dense_stack(left_values)
-            b_stack = right_structure.dense_stack(right_values)
+            b_stack = right_structure.dense_stack(
+                [_resolve_values(rv) for rv in right_values])
             if plan.strategy == Strategy.BLOCKED:
                 stacked = np.stack([
                     np.asarray(
@@ -632,7 +668,7 @@ class TCUDriver:
                 continue
             weights = (
                 left.values_per_agg[i][left_idx]
-                * right.values_per_agg[i][right_idx]
+                * right.values_for(i, right_idx)
             )
             grids.append(
                 np.bincount(cell, weights=weights, minlength=size)

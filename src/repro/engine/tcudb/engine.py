@@ -79,6 +79,13 @@ class TCUDBOptions:
     # pre-stages).  ``None`` defers to the REPRO_WORKERS policy; 1 is
     # strictly sequential.  Parallel output is bit-identical.
     workers: int | None = None
+    # Cache namespace: distinguishes engines that share one ProgramCache
+    # but compile against different catalogs (e.g. the per-shard engines
+    # of a DistributedEngine).  Without it, shard engines would share a
+    # cache key while their catalog fingerprints differ, so every shard
+    # execution would evict the previous shard's entry (the fingerprint
+    # guard treats a mismatch as stale) and the cache would thrash.
+    cache_namespace: str = ""
 
 
 class TCUDBEngine(Engine):
@@ -223,6 +230,7 @@ class TCUDBEngine(Engine):
             options.chunked_execution,
             options.chunk_rows,
             options.stream_prestage,
+            options.cache_namespace,
         )
 
     def execute_bound(self, bound: BoundQuery) -> QueryResult:

@@ -809,11 +809,15 @@ class ValueFill(TensorOp):
             count_values=np.ones(n),
             group_order=group_order,
         )
+        # The reduce-mode B side is an all-ones vector for every
+        # aggregate: share one array instead of materializing a copy per
+        # aggregate.
+        ones = np.ones(n)
         right_side = PreparedAggSide(
             keys_mapped=np.arange(n, dtype=np.int64),
             group=None,
-            values_per_agg=[np.ones(n) for _ in self.specs],
-            count_values=np.ones(n),
+            values_per_agg=[ones] * len(self.specs),
+            count_values=ones,
         )
         value_specs = sum(1 for s in self.specs if s.func != "count")
         g1 = left_side.g
@@ -1609,24 +1613,58 @@ def _build_agg_side(specs, group_by, column_of, mapped_keys, side_bindings,
         group = CompositeKey.build(
             [np.asarray(column_of(c.key)) for c in group_cols]
         )
-    values_per_agg: list[np.ndarray] = []
     n = mapped_keys.size
+    if b_side:
+        # Streamed B-side fill: the per-aggregate factor products are
+        # computed on demand (whole-side or one key-domain chunk's tuple
+        # selection) instead of being materialized per aggregate up
+        # front.  Slicing the factor columns before the elementwise
+        # products is bit-identical to slicing the product, so the
+        # chunked grid accumulation stays exact while only one slice is
+        # ever live.
+        def fill(index: int, selection=None) -> np.ndarray:
+            spec = specs[index]
+            if selection is None:
+                values = np.full(n, 1.0)
+            else:
+                selection = np.asarray(selection)
+                size = (int(np.count_nonzero(selection))
+                        if selection.dtype == np.bool_
+                        else selection.size)
+                values = np.full(size, 1.0)
+            for factor in spec.factors:
+                if factor.column.binding not in side_bindings:
+                    continue
+                array = np.asarray(column_of(factor.column.key),
+                                   dtype=np.float64)
+                if selection is not None:
+                    array = array[selection]
+                values = values * (array if factor.power == 1
+                                   else 1.0 / array)
+            return values
+
+        return PreparedAggSide(
+            keys_mapped=np.asarray(mapped_keys),
+            group=group,
+            values_per_agg=[],
+            count_values=np.ones(n),
+            group_order=group_order,
+            value_fill=fill,
+        )
+    values_per_agg: list[np.ndarray] = []
     for spec in specs:
-        values = np.full(n, 1.0)
-        if not b_side:
-            values = values * spec.constant * weights
+        values = np.full(n, 1.0) * spec.constant * weights
         for factor in spec.factors:
             if factor.column.binding not in side_bindings:
                 continue
             array = np.asarray(column_of(factor.column.key), dtype=np.float64)
             values = values * (array if factor.power == 1 else 1.0 / array)
         values_per_agg.append(values)
-    count_values = weights if not b_side else np.ones(n)
     return PreparedAggSide(
         keys_mapped=np.asarray(mapped_keys),
         group=group,
         values_per_agg=values_per_agg,
-        count_values=np.asarray(count_values, dtype=np.float64),
+        count_values=np.asarray(weights, dtype=np.float64),
         group_order=group_order,
     )
 
@@ -1685,7 +1723,7 @@ def _agg_feasibility(specs, left_side, right_side, k, require_exact=False,
                                        left_side.values_per_agg[i],
                                        left_structure)
         right_range = _exact_cell_range(right_side, k,
-                                        right_side.values_per_agg[i],
+                                        right_side.values_for(i),
                                         right_structure)
         if left_range is None or right_range is None:
             return run_feasibility_test(None, None, k)

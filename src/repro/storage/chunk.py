@@ -22,6 +22,8 @@ import os
 import threading
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.common.errors import StorageError
 from repro.storage.column import Column
 from repro.storage.statistics import ColumnStats, compute_stats
@@ -61,6 +63,9 @@ class Chunk:
         self.index = index
         self.start = start
         self.stop = stop
+        #: Column this chunk is sorted by (inherited from
+        #: ``Table.cluster_by``), or None.
+        self.sort_key = table.sort_key
         self._columns: dict[str, Column] = {
             name: table.column(name).slice(start, stop)
             for name in table.column_names
@@ -92,9 +97,23 @@ class Chunk:
         with self._stats_lock:
             cached = self._stats.get(name)
             if cached is None:
-                cached = compute_stats(self._columns[name])
+                cached = self._compute_stats(name)
                 self._stats[name] = cached
             return cached
+
+    def _compute_stats(self, name: str) -> ColumnStats:
+        if name == self.sort_key and self.num_rows:
+            # Clustered fast path: the chunk is sorted on this column,
+            # so min/max are the endpoints and distinct values are value
+            # boundaries — no sort, no hash.
+            data = self._columns[name].data
+            return ColumnStats(
+                min_value=data[0].item(),
+                max_value=data[-1].item(),
+                n_distinct=1 + int(np.count_nonzero(data[1:] != data[:-1])),
+                n_rows=data.size,
+            )
+        return compute_stats(self._columns[name])
 
     def arrays(self) -> dict[str, "object"]:
         """Physical arrays per column (codes for strings)."""

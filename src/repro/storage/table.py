@@ -44,6 +44,10 @@ class Table:
         self._columns: dict[str, Column] = dict(columns)
         self._stats: dict[str, ColumnStats] = {}
         self._chunked: dict[int, object] = {}  # chunk_rows -> ChunkedTable
+        #: Column this table is physically sorted by (``cluster_by``), or
+        #: None.  Chunk statistics use it as a cheap-stats fast path and
+        #: pruning on a clustered column skips disjoint chunk ranges.
+        self.sort_key: str | None = None
 
     # -- constructors ------------------------------------------------------ #
 
@@ -154,6 +158,18 @@ class Table:
         if descending:
             order = order[::-1]
         return self.take(order)
+
+    def cluster_by(self, name: str) -> "Table":
+        """This table physically sorted by ``name``, marked clustered.
+
+        The returned table carries ``sort_key = name``: chunk statistics
+        for that column come from the chunk's first/last element instead
+        of a scan, and min/max pruning on the clustered column skips
+        whole chunks because chunk value ranges are disjoint.
+        """
+        clustered = self.sort_by(name)
+        clustered.sort_key = name
+        return clustered
 
     # -- interop ---------------------------------------------------------------- #
 
