@@ -46,7 +46,12 @@ def bench_profile(request) -> ScaleProfile:
 def verifier(bench_profile) -> OracleVerifier:
     """Session-wide oracle verifier (a no-op recorder unless the active
     profile enables verification, e.g. ``--bench-profile smoke``)."""
-    return OracleVerifier(enabled=bench_profile.verify)
+    return OracleVerifier(
+        enabled=bench_profile.verify,
+        policy=getattr(bench_profile, "verify_policy", "full") or "full",
+        sample_rows=getattr(bench_profile, "verify_sample_rows", 2048),
+        strata=getattr(bench_profile, "verify_strata", 1),
+    )
 
 
 def assert_verified(result: ExperimentResult) -> None:

@@ -16,6 +16,7 @@ from repro.bench.exp_casestudies import (
     run_fig13,
     run_table1,
 )
+from repro.bench.exp_chaos import run_chaos
 from repro.bench.exp_compile_cache import run_compile_cache
 from repro.bench.exp_concurrency import run_concurrency
 from repro.bench.exp_microbench import run_fig3, run_fig7, run_fig8, run_fig14
@@ -45,6 +46,7 @@ __all__ = [
     "run_ablation_fusion",
     "run_ablation_precision",
     "run_ablation_transform_location",
+    "run_chaos",
     "run_compile_cache",
     "run_concurrency",
     "run_fig10",

@@ -34,6 +34,7 @@ from repro.bench.exp_casestudies import (
     run_fig13,
     run_table1,
 )
+from repro.bench.exp_chaos import run_chaos
 from repro.bench.exp_compile_cache import run_compile_cache
 from repro.bench.exp_concurrency import run_concurrency
 from repro.bench.exp_microbench import run_fig3, run_fig7, run_fig8, run_fig14
@@ -97,6 +98,7 @@ def iter_experiments(
     yield "concurrency", lambda: run_concurrency(**kwargs)
     yield "compile_cache", lambda: run_compile_cache(**kwargs)
     yield "scaleout", lambda: run_scaleout(**kwargs)
+    yield "chaos", lambda: run_chaos(**kwargs)
 
 
 def run_suite(
@@ -195,6 +197,7 @@ def main(argv: list[str] | None = None) -> int:
         enabled=verify,
         policy=getattr(profile, "verify_policy", "full") or "full",
         sample_rows=getattr(profile, "verify_sample_rows", 2048),
+        strata=getattr(profile, "verify_strata", 1),
     )
     only = ([token.strip() for token in args.experiments.split(",")
              if token.strip()] if args.experiments else None)

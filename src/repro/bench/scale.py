@@ -42,6 +42,10 @@ class ScaleProfile:
     verify_policy: str = "full"
     #: per-table row budget for "stream" replay sampling
     verify_sample_rows: int = 2048
+    #: disjoint stride-phased samples per "stream"-verified point; every
+    #: stratum must match the oracle, and the worst cross-stratum cell
+    #: deviation is recorded per point as a disagreement bound
+    verify_strata: int = 1
 
     # Figure 3: square GEMM dims.
     fig3_dims: tuple[int, ...] = (1024, 2048, 4096, 8192, 16384)
@@ -96,6 +100,15 @@ class ScaleProfile:
     compile_cache_statements: int = 4
     compile_cache_executions: int = 6
     compile_cache_reps: int = 3
+    # Chaos experiment: injected fault rates (probability per shard
+    # execution) swept against availability/success-rate/p99 overhead,
+    # SSB generator rows, shard count, queries per point and host-timing
+    # repeats (REAL mode; every point's answer oracle-verified).
+    chaos_fault_rates: tuple[float, ...] = (0.0, 0.1, 0.3)
+    chaos_rows: int = 12_000
+    chaos_shards: int = 2
+    chaos_queries: int = 6
+    chaos_reps: int = 2
 
     def to_dict(self) -> dict:
         out = {}
@@ -111,6 +124,7 @@ PAPER = ScaleProfile(
     description="the configurations the paper's figures report",
     verify=True,
     verify_policy="stream",
+    verify_strata=3,
 )
 
 #: CI-sized inputs; every point oracle-verified.
@@ -149,6 +163,11 @@ SMOKE = ScaleProfile(
     compile_cache_statements=3,
     compile_cache_executions=4,
     compile_cache_reps=2,
+    chaos_fault_rates=(0.0, 0.2),
+    chaos_rows=6_000,
+    chaos_shards=2,
+    chaos_queries=4,
+    chaos_reps=2,
 )
 
 #: Beyond-paper sweeps for the cost models (analytic-only).
@@ -157,6 +176,7 @@ STRESS = ScaleProfile(
     description="beyond-paper sweeps exercising the cost models",
     verify=True,
     verify_policy="stream",
+    verify_strata=3,
     fig3_dims=(4096, 8192, 16384, 32768),
     micro_sizes=(16384, 32768, 65536, 131072),
     fig8_distincts=(512, 2048, 8192, 32768),

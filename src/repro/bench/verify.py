@@ -117,7 +117,7 @@ def skip(point, note: str = "") -> None:
 
 
 def sampled_catalog(
-    catalog, budget_rows: int
+    catalog, budget_rows: int, phase: int = 0
 ) -> tuple[Catalog, list[str]]:
     """A deterministic chunk-sampled replica of a catalog.
 
@@ -128,6 +128,10 @@ def sampled_catalog(
     value range, not just the head).  Sampling is stride-based over the
     chunk grid — no RNG — so the same catalog always samples to the
     same replica and a verification failure reproduces exactly.
+
+    ``phase`` offsets the stride start (``chunks[phase::stride]``):
+    distinct phases select *disjoint* chunk strata of the same table,
+    which is what the stratified multi-sample replay iterates over.
     """
     out = Catalog()
     notes: list[str] = []
@@ -141,7 +145,7 @@ def sampled_catalog(
         chunked = table.chunked(sample_chunk)
         keep = max(budget_rows // sample_chunk, 1)
         stride = max(-(-chunked.num_chunks // keep), 1)
-        kept = chunked.chunks[::stride]
+        kept = chunked.chunks[phase % stride::stride]
         columns = {
             column_name: Column(
                 np.concatenate(
@@ -177,22 +181,33 @@ class OracleVerifier:
       same sample, so the row-multiset comparison remains a true
       differential check; the sampling is recorded in the point's
       ``verify_note``.
+
+    ``strata`` (stream policy only) replays each point on that many
+    *disjoint* stride-phased chunk samples instead of one: every
+    stratum must match the oracle independently, and the worst relative
+    cell deviation observed across all strata is recorded per point as
+    a disagreement bound (``disagreement<=…`` in ``verify_note``) — a
+    multi-sample confidence statement rather than a single-stride spot
+    check.
     """
 
     def __init__(self, enabled: bool = True, pair_limit: int = 20_000_000,
-                 policy: str = "full", sample_rows: int = 2048):
+                 policy: str = "full", sample_rows: int = 2048,
+                 strata: int = 1):
         self.enabled = enabled
         self.pair_limit = pair_limit
         self.policy = policy
         self.sample_rows = sample_rows
+        self.strata = max(int(strata), 1)
         self.checked = 0
         self.mismatches: list[str] = []
         self._oracle_cache: dict[tuple, list[tuple]] = {}
         # Hold catalog refs so id()-keyed cache entries cannot alias a
         # garbage-collected catalog's address.
         self._catalogs: dict[int, object] = {}
-        # Source catalog id -> (sampled catalog, sampling notes).
-        self._sampled: dict[int, tuple[Catalog, list[str]]] = {}
+        # (source catalog id, phase) -> (sampled catalog, notes).
+        self._sampled: dict[tuple[int, int],
+                            tuple[Catalog, list[str]]] = {}
 
     # -- engine construction ------------------------------------------- #
 
@@ -234,19 +249,32 @@ class OracleVerifier:
             self._catalogs.setdefault(id(catalog), catalog)
         return self._oracle_cache[key]
 
-    def _replay_catalog(self, catalog) -> tuple[object, str]:
+    def _replay_catalog(self, catalog, phase: int = 0) -> tuple[object, str]:
         """The catalog SQL replay runs on, plus a sampling note."""
         if self.policy != "stream":
             return catalog, ""
-        cached = self._sampled.get(id(catalog))
+        cached = self._sampled.get((id(catalog), phase))
         if cached is None:
-            cached = sampled_catalog(catalog, self.sample_rows)
-            self._sampled[id(catalog)] = cached
+            cached = sampled_catalog(catalog, self.sample_rows, phase=phase)
+            self._sampled[(id(catalog), phase)] = cached
             self._catalogs.setdefault(id(catalog), catalog)
         replica, notes = cached
         if not notes:
             return replica, "streamed replay"
         return replica, "sampled chunks " + ", ".join(notes)
+
+    @staticmethod
+    def _deviation(got_rows: list[tuple], expected_rows: list[tuple]) -> float:
+        """Worst relative numeric-cell deviation between two matched
+        (same-shape, canonically sorted) row multisets."""
+        worst = 0.0
+        for got, expected in zip(got_rows, expected_rows):
+            for g, e in zip(got, expected):
+                if isinstance(g, str) or isinstance(e, str):
+                    continue
+                delta = abs(float(g) - float(e))
+                worst = max(worst, delta / max(abs(float(e)), 1.0))
+        return worst
 
     # -- checks ---------------------------------------------------------- #
 
@@ -271,16 +299,30 @@ class OracleVerifier:
             rel = (TCU_REL if engine_name.lower().startswith("tcudb")
                    else EXACT_REL)
         self.checked += 1
+        phases = (range(self.strata) if self.policy == "stream"
+                  else range(1))
+        worst = 0.0
+        error = note = ""
         try:
-            replay_catalog, note = self._replay_catalog(catalog)
-            engine = self._real_engine(engine_name, replay_catalog,
-                                       device=device, options=options)
-            got = result_rows(engine.execute(sql, params=params))
-            expected = self._oracle_rows(replay_catalog, sql, params)
-            error = rows_match(got, expected, rel=rel)
+            for phase in phases:
+                replay_catalog, note = self._replay_catalog(catalog, phase)
+                engine = self._real_engine(engine_name, replay_catalog,
+                                           device=device, options=options)
+                got = result_rows(engine.execute(sql, params=params))
+                expected = self._oracle_rows(replay_catalog, sql, params)
+                error = rows_match(got, expected, rel=rel)
+                if error is not None:
+                    error = f"stratum {phase}: {error}"
+                    break
+                worst = max(worst, self._deviation(got, expected))
         except Exception as exc:  # surfaced in the report, not swallowed
             error = f"replay failed: {type(exc).__name__}: {exc}"
             note = ""
+        if error is None and self.policy == "stream" and self.strata > 1:
+            # The multi-stratum confidence statement: every disjoint
+            # sample agreed with the oracle to within this bound.
+            note = (f"{self.strata} strata, disagreement<={worst:.2e}; "
+                    f"{note}")
         if error is None:
             mark(point, True, "oracle", note)
         else:

@@ -1,0 +1,408 @@
+"""Deterministic, seedable fault injection for resilience testing.
+
+The serving and distributed layers call :func:`fault_point` (and the
+array-corrupting sibling :func:`corrupt_array`) at a handful of *named
+sites*.  In normal operation these are no-ops.  When a
+:class:`FaultPlan` is active — installed explicitly via :func:`inject`
+/ :func:`set_fault_plan` or parsed from the ``REPRO_FAULTS``
+environment variable — each site consults the plan's rules and may
+sleep (straggler simulation) or raise a typed, *retryable*
+:class:`~repro.common.errors.ReproError` subtype.  Every recovery path
+in the engine and server is therefore testable and CI-reproducible:
+the same plan string always injects the same faults at the same call
+counts.
+
+Sites
+-----
+``shard.execute``
+    Around one shard's execution inside :class:`DistributedEngine`
+    fan-out.  ``transient`` faults here exercise per-shard retry and
+    failover.
+``grid.accumulate``
+    Where a shard's grid partial is merged.  ``corrupt`` rules perturb
+    the partial (checksums catch it; the shard is re-executed).
+``cache.get``
+    On a :class:`ProgramCache` hit.  ``poison`` rules make the cached
+    template raise, exercising evict-and-recompile.
+``session.run``
+    Around a whole query inside :class:`QueryServer`.  Exercises the
+    server retry budget and circuit breaker.
+
+Plan syntax (``REPRO_FAULTS``)
+------------------------------
+Semicolon-separated entries; the first may pin the seed::
+
+    REPRO_FAULTS="seed=1306;shard.execute:transient:every=3;session.run:unavailable:every=11"
+
+Each rule is ``site:kind[:knob=value[,knob=value...]]`` with kinds
+``transient`` / ``unavailable`` / ``slow`` / ``corrupt`` / ``poison``
+and knobs:
+
+``p=0.25``
+    Fire with this probability (per-rule seeded RNG; deterministic for
+    a fixed plan seed and call order).
+``n=2``
+    Fire on the first *n* matching calls (``fail_n_times``).
+``every=3``
+    Fire on every 3rd matching call (periodic — consecutive calls never
+    both fire, so a single retry deterministically succeeds; this is
+    what the CI chaos leg uses to stay flake-free).
+``delay=0.01``
+    Sleep this many wall-clock seconds when the rule fires (the
+    ``slow`` kind; stragglers).
+``max=5``
+    Stop firing after this many total fires.
+
+A rule with no trigger knob (no ``p``/``n``/``every``) fires on every
+matching call until ``max`` is reached.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    BackendUnavailable,
+    ConfigError,
+    CorruptPartialError,
+    PoisonedTemplateError,
+    TransientShardError,
+)
+
+#: The named injection sites.  ``fault_point`` validates against this so
+#: a typo'd site in a plan or a call site fails loudly.
+SITE_SHARD_EXECUTE = "shard.execute"
+SITE_GRID_ACCUMULATE = "grid.accumulate"
+SITE_CACHE_GET = "cache.get"
+SITE_SESSION_RUN = "session.run"
+
+SITES = frozenset({
+    SITE_SHARD_EXECUTE,
+    SITE_GRID_ACCUMULATE,
+    SITE_CACHE_GET,
+    SITE_SESSION_RUN,
+})
+
+KINDS = frozenset({"transient", "unavailable", "slow", "corrupt", "poison"})
+
+#: Seed for plans that do not pin one (matches the repo-wide default).
+DEFAULT_FAULT_SEED = 20220612
+
+
+@dataclass
+class FaultRule:
+    """One injection rule: *where*, *what*, and *when* to fire."""
+
+    site: str
+    kind: str
+    p: float | None = None
+    n: int | None = None
+    every: int | None = None
+    delay: float = 0.0
+    max_fires: int | None = None
+
+    # Mutable per-rule state (guarded by the owning plan's lock).
+    calls: int = field(default=0, repr=False)
+    fires: int = field(default=0, repr=False)
+    _rng: random.Random | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ConfigError(
+                f"unknown fault site {self.site!r}; "
+                f"expected one of {sorted(SITES)}")
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {sorted(KINDS)}")
+        if self.p is not None and not 0.0 <= self.p <= 1.0:
+            raise ConfigError(f"fault probability out of range: {self.p}")
+        if self.every is not None and self.every < 1:
+            raise ConfigError(f"fault 'every' must be >= 1: {self.every}")
+
+    def _bind(self, seed: int, index: int) -> None:
+        """Give the rule its own RNG stream so rules don't perturb each
+        other's draws (plan determinism survives adding a rule)."""
+        self._rng = random.Random(f"{seed}/{index}/{self.site}/{self.kind}")
+
+    def _should_fire(self) -> bool:
+        """Advance the call counter and decide.  Caller holds the lock."""
+        self.calls += 1
+        if self.max_fires is not None and self.fires >= self.max_fires:
+            return False
+        if self.n is not None:
+            fire = self.calls <= self.n
+        elif self.every is not None:
+            fire = self.calls % self.every == 0
+        elif self.p is not None:
+            assert self._rng is not None, "rule used outside a plan"
+            fire = self._rng.random() < self.p
+        else:
+            fire = True
+        if fire:
+            self.fires += 1
+        return fire
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s with thread-safe counters.
+
+    One plan instance accumulates counters across threads and queries;
+    :meth:`stats` exposes them for tests and ``resilience_stats()``.
+    """
+
+    def __init__(self, rules: list[FaultRule] | None = None,
+                 seed: int = DEFAULT_FAULT_SEED):
+        self.seed = seed
+        self.rules: list[FaultRule] = list(rules or [])
+        self._lock = threading.Lock()
+        for index, rule in enumerate(self.rules):
+            rule._bind(seed, index)
+
+    def add(self, rule: FaultRule) -> FaultRule:
+        with self._lock:
+            rule._bind(self.seed, len(self.rules))
+            self.rules.append(rule)
+        return rule
+
+    def fired_rules(self, site: str) -> list[FaultRule]:
+        """Advance counters for *site* and return the rules that fire."""
+        fired = []
+        with self._lock:
+            for rule in self.rules:
+                if rule.site == site and rule._should_fire():
+                    fired.append(rule)
+        return fired
+
+    def reset(self) -> None:
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                rule.calls = rule.fires = 0
+                rule._bind(self.seed, index)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "rules": [
+                    {
+                        "site": rule.site,
+                        "kind": rule.kind,
+                        "calls": rule.calls,
+                        "fires": rule.fires,
+                    }
+                    for rule in self.rules
+                ],
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, rules={self.rules!r})"
+
+
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` plan string (syntax in module docstring)."""
+    seed = DEFAULT_FAULT_SEED
+    rules: list[FaultRule] = []
+    for entry in spec.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if entry.startswith("seed="):
+            try:
+                seed = int(entry[len("seed="):])
+            except ValueError as exc:
+                raise ConfigError(f"bad fault seed: {entry!r}") from exc
+            continue
+        parts = entry.split(":")
+        if len(parts) < 2 or len(parts) > 3:
+            raise ConfigError(
+                f"bad fault rule {entry!r}; "
+                f"expected 'site:kind[:knob=value,...]'")
+        site, kind = parts[0].strip(), parts[1].strip()
+        knobs: dict[str, float | int] = {}
+        if len(parts) == 3:
+            for token in parts[2].split(","):
+                token = token.strip()
+                if not token:
+                    continue
+                if "=" not in token:
+                    raise ConfigError(f"bad fault knob {token!r} in {entry!r}")
+                key, _, raw = token.partition("=")
+                key = key.strip()
+                try:
+                    if key in ("n", "every", "max"):
+                        knobs[key] = int(raw)
+                    elif key in ("p", "delay"):
+                        knobs[key] = float(raw)
+                    else:
+                        raise ConfigError(
+                            f"unknown fault knob {key!r} in {entry!r}")
+                except ValueError as exc:
+                    raise ConfigError(
+                        f"bad fault knob value {token!r} in {entry!r}"
+                    ) from exc
+        rules.append(FaultRule(
+            site=site,
+            kind=kind,
+            p=knobs.get("p"),
+            n=knobs.get("n"),
+            every=knobs.get("every"),
+            delay=float(knobs.get("delay", 0.0)),
+            max_fires=knobs.get("max"),
+        ))
+    return FaultPlan(rules, seed=seed)
+
+
+# --- active-plan management -------------------------------------------------
+
+class _Unset:
+    """Sentinel distinguishing "no explicit plan" from inject(None)."""
+
+
+_UNSET = _Unset()
+_explicit_plan: FaultPlan | None | _Unset = _UNSET
+_env_cache: tuple[str, FaultPlan] | None = None
+_state_lock = threading.Lock()
+_local = threading.local()
+
+
+def set_fault_plan(plan: FaultPlan | None) -> None:
+    """Install *plan* process-wide (``None`` disables injection even if
+    ``REPRO_FAULTS`` is set; pass :data:`_UNSET` semantics via
+    :func:`clear_fault_plan` to fall back to the environment)."""
+    global _explicit_plan
+    with _state_lock:
+        _explicit_plan = plan
+
+
+def clear_fault_plan() -> None:
+    """Drop the explicit plan; ``REPRO_FAULTS`` (if set) applies again."""
+    global _explicit_plan
+    with _state_lock:
+        _explicit_plan = _UNSET
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in effect: explicit wins, else ``REPRO_FAULTS``.
+
+    The env-parsed plan is cached per spec string as one shared
+    instance, so its counters accumulate for the whole process — the
+    CI chaos leg's ``every=k`` periodicity spans test cases.
+    """
+    global _env_cache
+    with _state_lock:
+        if not isinstance(_explicit_plan, _Unset):
+            return _explicit_plan
+        spec = os.environ.get("REPRO_FAULTS", "").strip()
+        if not spec:
+            return None
+        if _env_cache is None or _env_cache[0] != spec:
+            _env_cache = (spec, parse_fault_plan(spec))
+        return _env_cache[1]
+
+
+@contextmanager
+def inject(plan: FaultPlan | None) -> Iterator[FaultPlan | None]:
+    """Scoped :func:`set_fault_plan`: install *plan* for the ``with``
+    body, restoring the prior state after (tests use this heavily)."""
+    global _explicit_plan
+    with _state_lock:
+        prior = _explicit_plan
+        _explicit_plan = plan
+    try:
+        yield plan
+    finally:
+        with _state_lock:
+            _explicit_plan = prior
+
+
+@contextmanager
+def suppress() -> Iterator[None]:
+    """Disable injection on the *current thread* for the ``with`` body.
+
+    Coordinator-side recovery uses this: after retries exhaust, the
+    degradation rung re-executes work that must not be re-faulted
+    (otherwise an always-fire plan could never converge).  Thread-local
+    on purpose — sibling shard workers on other threads keep faulting.
+    """
+    depth = getattr(_local, "suppressed", 0)
+    _local.suppressed = depth + 1
+    try:
+        yield
+    finally:
+        _local.suppressed = depth
+
+
+def _suppressed() -> bool:
+    return getattr(_local, "suppressed", 0) > 0
+
+
+def fault_point(site: str, shard: int | None = None) -> None:
+    """Injection hook: sleep and/or raise per the active plan.
+
+    No-op (a dict lookup and one branch) when no plan is active or the
+    current thread is inside :func:`suppress`.  ``corrupt`` rules are
+    *not* raised here — they act through :func:`corrupt_array`.
+    """
+    if site not in SITES:
+        raise ConfigError(f"unknown fault site {site!r}")
+    if _suppressed():
+        return
+    plan = active_plan()
+    if plan is None:
+        return
+    for rule in plan.fired_rules(site):
+        if rule.kind == "slow":
+            if rule.delay > 0.0:
+                time.sleep(rule.delay)
+        elif rule.kind == "transient":
+            raise TransientShardError(
+                f"injected transient fault at {site}"
+                + (f" (shard {shard})" if shard is not None else ""),
+                shard=shard)
+        elif rule.kind == "unavailable":
+            raise BackendUnavailable(
+                f"injected backend-unavailable fault at {site}")
+        elif rule.kind == "poison":
+            raise PoisonedTemplateError(
+                f"injected template poison at {site}")
+        # "corrupt" rules are consumed by corrupt_array at this site.
+
+
+def corrupt_array(site: str, array, shard: int | None = None):
+    """Return *array*, or a silently perturbed copy if a ``corrupt``
+    rule fires at *site*.
+
+    The caller is expected to have captured a checksum of the honest
+    value beforehand; downstream verification then detects the
+    perturbation and raises :class:`CorruptPartialError` — the full
+    corruption→detection→re-execution path, end to end.
+    """
+    if _suppressed():
+        return array
+    plan = active_plan()
+    if plan is None:
+        return array
+    for rule in plan.fired_rules(site):
+        if rule.kind != "corrupt":
+            continue
+        corrupted = array.copy()
+        flat = corrupted.reshape(-1)
+        if flat.size:
+            flat[0] = flat[0] + 1e9
+        return corrupted
+    return array
+
+
+def checksum_mismatch(site: str, shard: int | None = None) -> None:
+    """Raise the typed error for a detected corrupt partial."""
+    raise CorruptPartialError(
+        f"grid partial failed checksum verification at {site}"
+        + (f" (shard {shard})" if shard is not None else ""),
+        shard=shard)

@@ -55,6 +55,7 @@ class ProgramCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._poisoned = 0
 
     def get(self, key: Hashable, fingerprint: Hashable):
         """The cached value, or None.
@@ -88,6 +89,22 @@ class ProgramCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 
+    def poison(self, key: Hashable) -> bool:
+        """Evict *key* because its cached template raised in use.
+
+        Exception safety for hits: if specializing or executing a
+        cached program fails, the caller evicts the entry through here
+        (counted separately from capacity evictions) and recompiles
+        fresh, so one bad template cannot fail every subsequent hit.
+        Returns True if the key was present.
+        """
+        with self._lock:
+            present = key in self._entries
+            if present:
+                del self._entries[key]
+            self._poisoned += 1
+            return present
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -107,5 +124,6 @@ class ProgramCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "invalidations": self._invalidations,
+                "poisoned": self._poisoned,
                 "hit_rate": (self._hits / lookups) if lookups else None,
             }

@@ -39,8 +39,10 @@ import time
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
 
-from repro.common.errors import ConfigError, QueryCancelled
+from repro.common.errors import ConfigError, QueryCancelled, ReproError
 
 #: Hard ceiling on the pool width: beyond this, per-chunk dispatch
 #: overhead dominates any conceivable chunk kernel.
@@ -160,9 +162,160 @@ def parallel_map(
             raise
 
 
+# --- resilience primitives --------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts the first try: 3 means one try plus two
+    retries.  Jitter is derived from ``(seed, key, attempt)`` by a
+    splitmix-style hash rather than a shared RNG, so concurrent shard
+    retries never perturb each other's schedules and a failing run
+    replays with identical sleeps.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.002
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.050
+    jitter: float = 0.25
+    seed: int = 20220612
+
+    def backoff_for(self, attempt: int, key: int = 0) -> float:
+        """Sleep before retry number *attempt* (1-based) of item *key*."""
+        if attempt < 1:
+            return 0.0
+        delay = min(self.max_backoff_s,
+                    self.base_backoff_s * self.multiplier ** (attempt - 1))
+        if self.jitter <= 0.0:
+            return delay
+        x = (self.seed * 0x9E3779B97F4A7C15 + key * 0xBF58476D1CE4E5B9
+             + attempt * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 31
+        frac = (x & 0xFFFFFF) / float(0x1000000)
+        return delay * (1.0 - self.jitter + 2.0 * self.jitter * frac)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """True for library errors flagged transient (and not cancellations)."""
+    return (isinstance(error, ReproError)
+            and not isinstance(error, QueryCancelled)
+            and getattr(error, "retryable", False))
+
+
+def call_with_retries(
+    fn: Callable[[], object],
+    policy: RetryPolicy,
+    token: CancellationToken | None = None,
+    key: int = 0,
+    attempts_log: list | None = None,
+):
+    """Run ``fn`` under *policy*, retrying retryable library errors.
+
+    Sleeps the backoff schedule between attempts (checking the token
+    first, so a zero-second budget still cancels promptly under
+    injected faults).  ``attempts_log``, when given, receives one
+    ``{"error", "backoff_s"}`` record per retried failure — the
+    material for ``extra["resilience"]``.  Non-retryable errors and
+    exhausted budgets propagate unchanged.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except BaseException as error:
+            if not is_retryable(error) or attempt >= policy.max_attempts:
+                raise
+            backoff = policy.backoff_for(attempt, key=key)
+            if attempts_log is not None:
+                attempts_log.append({
+                    "error": type(error).__name__,
+                    "backoff_s": round(backoff, 6),
+                })
+            if token is not None:
+                token.raise_if_cancelled()
+            if backoff > 0.0:
+                time.sleep(backoff)
+
+
+def speculative_map(
+    fn: Callable,
+    items: Iterable,
+    workers: int,
+    token: CancellationToken | None = None,
+    straggler_timeout_s: float | None = None,
+    on_speculate: Callable[[object], None] | None = None,
+) -> Iterator:
+    """:func:`parallel_map` with straggler hedging.
+
+    Results stream in submission order.  When the head-of-queue item
+    takes longer than ``straggler_timeout_s`` host seconds, the item is
+    speculatively re-executed inline on the consuming thread and the
+    first result to finish wins (the straggler's is discarded) — the
+    single-host analogue of hedged requests.  Unlike
+    :func:`parallel_map`, a failing item does **not** cancel the shared
+    token: the caller's degradation ladder still needs a live token to
+    re-execute surviving work.
+    """
+    if token is not None:
+        token.raise_if_cancelled()
+    if workers <= 1:
+        for item in items:
+            if token is not None:
+                token.raise_if_cancelled()
+            yield fn(item)
+        return
+
+    def call(item):
+        if token is not None:
+            token.raise_if_cancelled()
+        return fn(item)
+
+    window = 2 * workers
+    pending: deque = deque()
+    iterator = iter(items)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        try:
+            exhausted = False
+            while True:
+                while not exhausted and len(pending) < window:
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.append((item, pool.submit(call, item)))
+                if not pending:
+                    break
+                if token is not None:
+                    token.raise_if_cancelled()
+                item, future = pending.popleft()
+                if straggler_timeout_s is None:
+                    yield future.result()
+                    continue
+                try:
+                    yield future.result(timeout=straggler_timeout_s)
+                except FutureTimeoutError:
+                    if on_speculate is not None:
+                        on_speculate(item)
+                    result = call(item)
+                    future.cancel()
+                    yield result
+        except BaseException:
+            for _, future in pending:
+                future.cancel()
+            raise
+
+
 __all__ = [
     "MAX_WORKERS",
     "CancellationToken",
+    "RetryPolicy",
+    "call_with_retries",
+    "is_retryable",
     "parallel_map",
+    "speculative_map",
     "workers_policy",
 ]

@@ -73,15 +73,34 @@ listing of every distributed result.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
 
 import numpy as np
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import (
+    ExecutionError,
+    QueryCancelled,
+    ResilienceExhausted,
+)
+from repro.common.faults import (
+    SITE_CACHE_GET,
+    SITE_GRID_ACCUMULATE,
+    SITE_SHARD_EXECUTE,
+    checksum_mismatch,
+    corrupt_array,
+    fault_point,
+    suppress,
+)
 from repro.common.timing import TimingBreakdown
 from repro.engine.base import Engine, ExecutionMode, QueryResult
 from repro.engine.cache import ProgramCache
-from repro.engine.parallel import parallel_map
+from repro.engine.parallel import (
+    RetryPolicy,
+    call_with_retries,
+    is_retryable,
+    speculative_map,
+)
 from repro.engine.physical import (
     StreamGroupEval,
     apply_order_limit,
@@ -118,6 +137,52 @@ from repro.storage.table import Table
 STAGE_SHARD_MERGE = "shard_merge"
 
 
+class _FanoutRecorder:
+    """Per-query ledger of recovery events during one shard fan-out.
+
+    Worker threads report into it concurrently; the coordinator folds
+    it into ``extra["resilience"]`` after the merge.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.retries: dict[int, list[dict]] = {}
+        self.recovered: list[dict] = []
+        self.speculated: list[int] = []
+
+    def record_retries(self, index: int, log: list[dict]) -> None:
+        with self._lock:
+            self.retries[index] = log
+
+    def record_recovery(self, index: int, error: BaseException) -> None:
+        with self._lock:
+            self.recovered.append({
+                "shard": index, "error": type(error).__name__,
+            })
+
+    def record_speculation(self, index: int) -> None:
+        with self._lock:
+            self.speculated.append(index)
+
+    @property
+    def eventful(self) -> bool:
+        with self._lock:
+            return bool(self.retries or self.recovered or self.speculated)
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "retries": {
+                    shard: list(log)
+                    for shard, log in sorted(self.retries.items())
+                },
+                "attempts": 1 + sum(len(log)
+                                    for log in self.retries.values()),
+                "recovered": list(self.recovered),
+                "speculated": sorted(self.speculated),
+            }
+
+
 class DistributedEngine(Engine):
     """N-shard data-parallel TCUDB with an allreduce merge step."""
 
@@ -135,6 +200,8 @@ class DistributedEngine(Engine):
         mode: ExecutionMode = ExecutionMode.REAL,
         options: TCUDBOptions | None = None,
         program_cache: ProgramCache | None = None,
+        retry_policy: RetryPolicy | None = None,
+        straggler_timeout_s: float | None = None,
     ):
         if isinstance(catalog, ShardedCatalog):
             sharded = catalog
@@ -149,6 +216,12 @@ class DistributedEngine(Engine):
         self.n_shards = sharded.n_shards
         self.options = options if options is not None else TCUDBOptions()
         self.program_cache = program_cache
+        # Per-shard recovery: bounded retry with backoff for retryable
+        # failures, optional straggler hedging (host wall-clock seconds
+        # before a slow shard is speculatively re-executed).
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
+        self.straggler_timeout_s = straggler_timeout_s
         # The coordinator node: runs single-node routes, compiles the
         # shared program, and executes the post-merge suffix.  Its cache
         # entries (and the distributed program entries below) carry a
@@ -204,14 +277,54 @@ class DistributedEngine(Engine):
         if self.mode != ExecutionMode.REAL:
             return self._single_node(bound, "analytic mode")
         if bound.has_aggregates or bound.group_by:
-            return self._execute_aggregate(bound)
+            return self._degradable(bound, "aggregate", self._execute_aggregate)
         if bound.limit is not None:
             # Which rows survive a tie at the LIMIT boundary depends on
             # physical row order, which partitioning permutes.
             return self._single_node(
                 bound, "LIMIT on a non-aggregate query is order-sensitive"
             )
-        return self._execute_concat(bound)
+        return self._degradable(bound, "concat", self._execute_concat)
+
+    def _degradable(self, bound: BoundQuery, route: str, fn) -> QueryResult:
+        """Run a fan-out route with the whole-query degradation rung.
+
+        Per-shard retry and shard-level re-execution live inside
+        :meth:`_resilient_fanout`; if a retryable failure still escapes
+        (e.g. a shard engine broken beyond its partition), the query is
+        re-routed single-node on the coordinator with injection
+        suppressed — correct rows, no shard parallelism.  Cancellation
+        and non-retryable (user) errors propagate unchanged; if the
+        last rung fails too, :class:`ResilienceExhausted` carries the
+        final cause.
+        """
+        try:
+            return fn(bound)
+        except QueryCancelled:
+            raise
+        except Exception as error:
+            if not is_retryable(error):
+                raise
+            try:
+                with suppress():
+                    result = self._single_node(
+                        bound,
+                        f"degraded from {route} fan-out after "
+                        f"{type(error).__name__}",
+                    )
+            except QueryCancelled:
+                raise
+            except Exception as final:
+                raise ResilienceExhausted(
+                    f"retries and single-node degradation both failed "
+                    f"for the {route} route: {final}"
+                ) from final
+            result.extra["resilience"] = {
+                "route": "single-node",
+                "degraded_from": route,
+                "cause": f"{type(error).__name__}: {error}",
+            }
+            return result
 
     def _single_node(self, bound: BoundQuery, reason: str) -> QueryResult:
         result = self.node.execute_bound(bound)
@@ -234,14 +347,70 @@ class DistributedEngine(Engine):
         ]
         return replace(bound, tables=tables)
 
-    def _fanout(self, fn):
-        """Run ``fn(shard_index)`` for every shard; results come back in
-        ascending shard order — the deterministic merge order every
-        reduction below relies on."""
-        return list(parallel_map(
-            fn, range(self.n_shards), workers=self.n_shards,
-            token=self.cancel_token,
+    def _fanout(self, fn, recorder: _FanoutRecorder):
+        """Run ``fn(shard_index)`` for every shard with per-shard
+        recovery; results come back in ascending shard order — the
+        deterministic merge order every reduction below relies on.
+
+        Recovery ladder, per shard: (1) bounded retry with exponential
+        backoff + jitter for retryable failures (transient shard
+        errors, unavailable backends, corrupt partials); (2) one
+        fault-suppressed re-execution of just this shard's partition —
+        surviving shards' partials are untouched, only the failed
+        partition recomputes.  Straggler hedging
+        (``straggler_timeout_s``) speculatively re-executes a slow
+        shard on the consuming thread, first result wins.  Every event
+        lands in *recorder* for ``extra["resilience"]``.
+        """
+        token = self.cancel_token
+        policy = self.retry_policy
+
+        def run_one(index: int):
+            log: list[dict] = []
+
+            def attempt():
+                fault_point(SITE_SHARD_EXECUTE, shard=index)
+                return fn(index)
+
+            try:
+                result = call_with_retries(
+                    attempt, policy, token=token, key=index,
+                    attempts_log=log,
+                )
+            except QueryCancelled:
+                raise
+            except Exception as error:
+                if not is_retryable(error):
+                    raise
+                # Retries exhausted: re-execute only this shard's
+                # partition with injection suppressed (thread-local, so
+                # sibling shards keep their plans).  A real —
+                # non-injected — persistent failure still raises here
+                # and escalates to the whole-query single-node rung.
+                with suppress():
+                    result = fn(index)
+                recorder.record_recovery(index, error)
+            if log:
+                recorder.record_retries(index, log)
+            return result
+
+        return list(speculative_map(
+            run_one, range(self.n_shards), workers=self.n_shards,
+            token=token, straggler_timeout_s=self.straggler_timeout_s,
+            on_speculate=recorder.record_speculation,
         ))
+
+    def _attach_resilience(self, result: QueryResult,
+                           recorder: _FanoutRecorder) -> None:
+        if recorder.eventful:
+            summary = recorder.summary()
+            summary["route"] = result.extra["distributed"]["route"]
+            summary["retry_policy"] = {
+                "max_attempts": self.retry_policy.max_attempts,
+                "base_backoff_s": self.retry_policy.base_backoff_s,
+                "multiplier": self.retry_policy.multiplier,
+            }
+            result.extra["resilience"] = summary
 
     # -- grid-allreduce route -------------------------------------------- #
 
@@ -309,7 +478,15 @@ class DistributedEngine(Engine):
             fingerprint = self.catalog.fingerprint()
             cached = cache.get(key, fingerprint)
             if cached is not None:
-                return cached
+                try:
+                    fault_point(SITE_CACHE_GET)
+                    return cached
+                except QueryCancelled:
+                    raise
+                except Exception:
+                    # Poisoned template: evict and recompile fresh
+                    # below rather than re-serving the bad entry.
+                    cache.poison(key)
         lowered = lower_query(bound, self.mode, fusion=self.options.fusion,
                               streaming=self.options.stream_prestage)
         if cache is not None:
@@ -348,9 +525,11 @@ class DistributedEngine(Engine):
                 if token is not None:
                     token.raise_if_cancelled()
                 ctx.values[op.id] = op.execute(ctx)
+            self._verify_partial(ctx, gemm, index)
             return ctx
 
-        shard_ctxs = self._fanout(run_shard)
+        recorder = _FanoutRecorder()
+        shard_ctxs = self._fanout(run_shard, recorder)
         products = [ctx.value(gemm.id) for ctx in shard_ctxs]
         merged, grid_cells, n_grids = self._merge_products(products)
 
@@ -392,7 +571,37 @@ class DistributedEngine(Engine):
         result.engine = self.name
         self._annotate(result, "grid-allreduce", merge_seconds,
                        executed_by="TCU-dist")
+        self._attach_resilience(result, recorder)
         return result
+
+    @staticmethod
+    def _verify_partial(ctx: ProgramContext, gemm: Gemm, index: int) -> None:
+        """Checksum-guard one shard's grid partial before it is shipped.
+
+        The checksums (per-grid sums) are captured from the honest
+        arrays; the partial then passes through the
+        ``grid.accumulate`` corruption point — so an injected
+        perturbation flows exactly where a real bit-flip would — and is
+        re-verified.  A mismatch raises the retryable
+        :class:`~repro.common.errors.CorruptPartialError`, and the
+        retry ladder recomputes this shard from scratch.
+        """
+        product = ctx.value(gemm.id)
+        if (not isinstance(product, ProductValue)
+                or product.grids is None or product.count_grid is None):
+            return
+        arrays = [*product.grids, product.count_grid]
+        checksums = [float(np.sum(a)) for a in arrays]
+        shipped = [corrupt_array(SITE_GRID_ACCUMULATE, a, shard=index)
+                   for a in arrays]
+        ctx.values[gemm.id] = replace(
+            product, grids=shipped[:-1], count_grid=shipped[-1]
+        )
+        for expected, array in zip(checksums, shipped):
+            actual = float(np.sum(array))
+            if (not np.isfinite(actual)
+                    or abs(actual - expected) > 1e-6 * max(1.0, abs(expected))):
+                checksum_mismatch(SITE_GRID_ACCUMULATE, shard=index)
 
     def _merge_products(self, products: list[ProductValue]):
         """Fold per-shard grid partials into the union composite space.
@@ -548,7 +757,8 @@ class DistributedEngine(Engine):
                 self._shard_bound(partial, index)
             )
 
-        shard_results = self._fanout(run_shard)
+        recorder = _FanoutRecorder()
+        shard_results = self._fanout(run_shard, recorder)
         tables = [r.require_table() for r in shard_results]
 
         def gather(name: str) -> np.ndarray:
@@ -629,10 +839,12 @@ class DistributedEngine(Engine):
         arrays = apply_order_limit(bound, arrays, names)
         table = build_result_table(bound, arrays, names)
         transferred = int(counts_in.size) * max(len(items), 1)
-        return self._merged_result(
+        result = self._merged_result(
             bound, shard_results, table, "partial-rows", transferred,
             executed_by="TCU-dist-partial",
         )
+        self._attach_resilience(result, recorder)
+        return result
 
     # -- concat route ----------------------------------------------------- #
 
@@ -645,7 +857,8 @@ class DistributedEngine(Engine):
                 self._shard_bound(local, index)
             )
 
-        shard_results = self._fanout(run_shard)
+        recorder = _FanoutRecorder()
+        shard_results = self._fanout(run_shard, recorder)
         tables = [r.require_table() for r in shard_results]
         names = tables[0].column_names
         columns = {name: [t.column(name) for t in tables] for name in names}
@@ -663,10 +876,12 @@ class DistributedEngine(Engine):
         }
         table = Table("result", out)
         transferred = sum(t.num_rows for t in tables) * max(len(names), 1)
-        return self._merged_result(
+        result = self._merged_result(
             bound, shard_results, table, "concat", transferred,
             executed_by="TCU-dist-concat",
         )
+        self._attach_resilience(result, recorder)
+        return result
 
     # -- shared result assembly ------------------------------------------- #
 

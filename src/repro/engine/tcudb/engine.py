@@ -25,7 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.errors import UnsupportedQueryError
+from repro.common.errors import QueryCancelled, UnsupportedQueryError
+from repro.common.faults import SITE_CACHE_GET, fault_point
 from repro.engine.base import Engine, ExecutionMode, QueryResult
 from repro.engine.cache import ProgramCache
 from repro.engine.physical import apply_order_limit
@@ -169,25 +170,19 @@ class TCUDBEngine(Engine):
         exec_bound, values = prepared.bind_execution(params)
         cache = self.program_cache
         key = fingerprint = None
-        lowered = None
+        cached = None
         if cache is not None:
             key = (prepared.normalized_sql, self._cache_options_key())
             fingerprint = self.catalog.fingerprint()
-            lowered = cache.get(key, fingerprint)
-        if lowered is None:
-            lowered = lower_query(prepared.bound, self.mode,
-                                  fusion=self.options.fusion,
-                                  streaming=self.options.stream_prestage)
+            cached = cache.get(key, fingerprint)
+
+        def compile_fresh() -> LoweredQuery | MatchFailure:
+            template = lower_query(prepared.bound, self.mode,
+                                   fusion=self.options.fusion,
+                                   streaming=self.options.stream_prestage)
             if cache is not None:
-                cache.put(key, fingerprint, lowered)
-        specialized = lowered
-        if isinstance(lowered, LoweredQuery):
-            specialized = LoweredQuery(
-                program=specialize_program(lowered.program, exec_bound,
-                                           values),
-                pattern=lowered.pattern,
-                hybrid=lowered.hybrid,
-            )
+                cache.put(key, fingerprint, template)
+            return template
 
         def relower() -> LoweredQuery | MatchFailure:
             hybrid = lower_hybrid(prepared.bound, self.mode,
@@ -208,7 +203,32 @@ class TCUDBEngine(Engine):
                 hybrid=hybrid.hybrid,
             )
 
-        return self._run_lowered(exec_bound, specialized, relower)
+        def run(template: LoweredQuery | MatchFailure) -> QueryResult:
+            specialized = template
+            if isinstance(template, LoweredQuery):
+                specialized = LoweredQuery(
+                    program=specialize_program(template.program, exec_bound,
+                                               values),
+                    pattern=template.pattern,
+                    hybrid=template.hybrid,
+                )
+            return self._run_lowered(exec_bound, specialized, relower)
+
+        if cached is not None:
+            # Hit-path exception safety: a template that raises during
+            # specialization or execution is evicted (not pinned) and
+            # the statement recompiles fresh, so one poisoned entry
+            # cannot fail every subsequent hit.  Cancellation is the
+            # caller's signal, never the template's fault.
+            try:
+                fault_point(SITE_CACHE_GET)
+                return run(cached)
+            except QueryCancelled:
+                raise
+            except Exception:
+                cache.poison(key)
+                return run(compile_fresh())
+        return run(compile_fresh())
 
     def _cache_options_key(self) -> tuple:
         """Compile-relevant engine configuration, part of the cache key.

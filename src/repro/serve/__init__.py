@@ -1,6 +1,7 @@
 """Concurrent query serving front-end (see :mod:`repro.serve.server`)."""
 
 from repro.serve.server import (
+    CircuitBreaker,
     QueryBudget,
     QueryServer,
     QueryTicket,
@@ -9,6 +10,7 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "QueryBudget",
     "QueryServer",
     "QueryTicket",

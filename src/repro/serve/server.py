@@ -45,14 +45,33 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
 
-from repro.common.errors import AdmissionError, ExecutionError, QueryCancelled
+from repro.common.errors import (
+    AdmissionError,
+    ExecutionError,
+    InternalError,
+    QueryCancelled,
+    ReproError,
+    ServerClosed,
+)
+from repro.common.faults import (
+    SITE_SESSION_RUN,
+    active_plan,
+    fault_point,
+    suppress,
+)
 from repro.engine import create_engine
 from repro.engine.base import QueryResult
 from repro.engine.cache import ProgramCache
-from repro.engine.parallel import CancellationToken, workers_policy
+from repro.engine.parallel import (
+    CancellationToken,
+    RetryPolicy,
+    call_with_retries,
+    is_retryable,
+    workers_policy,
+)
 from repro.sql.prepared import PreparedStatement
 from repro.storage.catalog import Catalog
 from repro.storage.shard import ShardedCatalog, shards_policy
@@ -67,10 +86,14 @@ class QueryBudget:
     boundary past it).  ``max_rows`` bounds the *result* cardinality:
     checked when the result materializes, so an aggregate over billions
     of input rows with a three-row answer passes a small budget.
+    ``max_retries`` is the server-level retry budget: how many times a
+    *retryable* failure (transient shard error, unavailable backend) may
+    be re-run before the query degrades to the reference fallback.
     """
 
     max_seconds: float | None = None
     max_rows: int | None = None
+    max_retries: int = 2
 
 
 class TicketState(Enum):
@@ -145,6 +168,83 @@ class QueryTicket:
         self._done.set()
 
 
+class CircuitBreaker:
+    """Per-engine-path circuit breaker (CLOSED -> OPEN -> HALF_OPEN).
+
+    ``record_failure`` counts *consecutive* infrastructure failures
+    (retryable errors and :class:`InternalError`; user errors and
+    cancellations never trip the breaker).  After ``threshold`` of
+    them the breaker opens: :meth:`allow` returns False and the server
+    routes queries to the reference fallback without touching the
+    broken path.  Once ``cooldown_s`` host seconds pass, the next
+    ``allow`` admits exactly one half-open probe; its success closes
+    the breaker, its failure re-opens it for another cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, path: str, threshold: int = 5,
+                 cooldown_s: float = 1.0):
+        if threshold < 1:
+            raise ExecutionError("breaker threshold must be >= 1")
+        self.path = path
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._opens = 0
+
+    def allow(self) -> bool:
+        """May the primary path take this query?"""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if time.monotonic() - self._opened_at < self.cooldown_s:
+                    return False
+                self._state = self.HALF_OPEN
+                self._probing = True
+                return True
+            # HALF_OPEN: exactly one probe in flight.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            failed_probe = self._state == self.HALF_OPEN
+            self._probing = False
+            if failed_probe or self._failures >= self.threshold:
+                if self._state != self.OPEN:
+                    self._opens += 1
+                self._state = self.OPEN
+                self._opened_at = time.monotonic()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "path": self.path,
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+                "opens": self._opens,
+            }
+
+
 class QueryServer:
     """Admission-controlled concurrent execution over a shared catalog.
 
@@ -175,6 +275,10 @@ class QueryServer:
         default_budget: QueryBudget | None = None,
         engine_kwargs: dict | None = None,
         program_cache: ProgramCache | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 1.0,
+        admission_timeout_s: float | None = None,
     ):
         if max_concurrent <= 0:
             raise ExecutionError("max_concurrent must be positive")
@@ -219,7 +323,17 @@ class QueryServer:
             self._threads.append(thread)
         # Served-query counters (under self._lock).
         self.stats = {"admitted": 0, "rejected": 0, "completed": 0,
-                      "failed": 0, "cancelled": 0}
+                      "failed": 0, "cancelled": 0, "retried": 0,
+                      "degraded": 0, "shed": 0, "internal_errors": 0}
+        # Resilience machinery: server-level retry budget schedule, the
+        # primary-path circuit breaker, and bounded admission waits.
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
+        self.breaker = CircuitBreaker(
+            path=self.engine_name, threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+        )
+        self.admission_timeout_s = admission_timeout_s
 
     # -- session factory ------------------------------------------------ #
 
@@ -235,16 +349,37 @@ class QueryServer:
         token = CancellationToken(deadline_s=budget.max_seconds)
         ticket = QueryTicket(sql, token, params=params)
         ticket._budget = budget  # type: ignore[attr-defined]
+        limit = self.max_concurrent + self.max_queued
         with self._lock:
             if self._closed:
-                raise ExecutionError("server is closed")
-            backlog = len(self._queue) + self._running
-            if backlog >= self.max_concurrent + self.max_queued:
-                self.stats["rejected"] += 1
-                raise AdmissionError(
-                    f"admission queue full ({backlog} queries in flight, "
-                    f"limit {self.max_concurrent}+{self.max_queued})"
-                )
+                raise ServerClosed("server is closed")
+            deadline = (time.monotonic() + self.admission_timeout_s
+                        if self.admission_timeout_s is not None else None)
+            while len(self._queue) + self._running >= limit:
+                # Load shedding: with no admission timeout configured,
+                # fail fast; with one, wait — bounded — for capacity and
+                # shed the query with a typed error when it elapses,
+                # never an unbounded block.
+                if deadline is None:
+                    self.stats["rejected"] += 1
+                    backlog = len(self._queue) + self._running
+                    raise AdmissionError(
+                        f"admission queue full ({backlog} queries in "
+                        f"flight, limit {self.max_concurrent}"
+                        f"+{self.max_queued})"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.stats["rejected"] += 1
+                    self.stats["shed"] += 1
+                    raise AdmissionError(
+                        f"admission timed out after "
+                        f"{self.admission_timeout_s}s (queue full); "
+                        f"query shed"
+                    )
+                self._idle.wait(remaining)
+                if self._closed:
+                    raise ServerClosed("server is closed")
             self.stats["admitted"] += 1
             self._queue.append((ticket, session))
         self._work.release()
@@ -269,31 +404,117 @@ class QueryServer:
                     self._running -= 1
                     self._idle.notify_all()
 
+    @staticmethod
+    def _as_library_error(error: Exception) -> ReproError:
+        """Type every escaping failure: non-library exceptions wrap as
+        :class:`InternalError` (cause chained) so no raw
+        ``RuntimeError``/``ValueError`` crosses the server boundary."""
+        if isinstance(error, ReproError):
+            return error
+        wrapped = InternalError(f"{type(error).__name__}: {error}")
+        wrapped.__cause__ = error
+        return wrapped
+
+    def _run_on(self, ticket: QueryTicket, engine) -> QueryResult:
+        """Run the ticket's statement on *engine* with the token armed."""
+        # Engines poll the token at chunk/operator boundaries.
+        engine.cancel_token = ticket.token
+        try:
+            if ticket.params is None:
+                return engine.execute(ticket.sql)
+            return engine.execute(ticket.sql, params=ticket.params)
+        finally:
+            engine.cancel_token = None
+
+    def _run_primary(self, ticket: QueryTicket, session: "Session",
+                     budget: QueryBudget, resilience: dict) -> QueryResult:
+        """The primary engine path under the per-query retry budget."""
+        engine = session._engine()
+        log: list[dict] = []
+
+        def attempt() -> QueryResult:
+            fault_point(SITE_SESSION_RUN)
+            return self._run_on(ticket, engine)
+
+        policy = replace(self.retry_policy,
+                         max_attempts=1 + max(budget.max_retries, 0))
+        try:
+            return call_with_retries(
+                attempt, policy, token=ticket.token,
+                key=session.session_id, attempts_log=log,
+            )
+        finally:
+            if log:
+                resilience["retries"] = log
+                with self._lock:
+                    self.stats["retried"] += 1
+
     def _execute(self, ticket: QueryTicket, session: "Session") -> None:
         ticket._start()
         budget: QueryBudget = ticket._budget  # type: ignore[attr-defined]
         started = time.perf_counter()
+        resilience: dict = {}
         try:
             ticket.token.raise_if_cancelled()
-            engine = session._engine()
-            # Engines poll the token at chunk/operator boundaries.
-            engine.cancel_token = ticket.token
-            try:
-                if ticket.params is None:
-                    result = engine.execute(ticket.sql)
-                else:
-                    result = engine.execute(ticket.sql,
-                                            params=ticket.params)
-            finally:
-                engine.cancel_token = None
+            result = None
+            if self.breaker.allow():
+                try:
+                    result = self._run_primary(ticket, session, budget,
+                                               resilience)
+                    self.breaker.record_success()
+                except QueryCancelled:
+                    raise
+                except Exception as error:
+                    wrapped = self._as_library_error(error)
+                    infrastructure = (is_retryable(wrapped)
+                                      or isinstance(wrapped, InternalError))
+                    if not infrastructure:
+                        raise wrapped
+                    # Engine-path trouble: count it toward the breaker
+                    # and fall through to the reference fallback below.
+                    self.breaker.record_failure()
+                    if isinstance(wrapped, InternalError):
+                        with self._lock:
+                            self.stats["internal_errors"] += 1
+                    resilience["degraded_from"] = self.engine_name
+                    resilience["cause"] = (
+                        f"{type(wrapped).__name__}: {wrapped}")
+            else:
+                resilience["degraded_from"] = self.engine_name
+                resilience["cause"] = "circuit breaker open"
+            if result is None:
+                # Degradation rung: the exact (if slower) reference
+                # engine, with fault injection suppressed — a recovery
+                # path that can itself be killed by the plan that broke
+                # the primary would never converge.
+                with self._lock:
+                    self.stats["degraded"] += 1
+                resilience["route"] = "reference-fallback"
+                try:
+                    with suppress():
+                        result = self._run_on(
+                            ticket, session._fallback_engine())
+                except QueryCancelled:
+                    raise
+                except Exception as error:
+                    raise self._as_library_error(error) from error
             if budget.max_rows is not None and result.n_rows > budget.max_rows:
                 raise ExecutionError(
                     f"result exceeds row budget: {result.n_rows} rows "
                     f"(> {budget.max_rows})"
                 )
+            if resilience:
+                resilience.setdefault("route", "primary")
+                existing = result.extra.get("resilience")
+                if existing is not None:
+                    existing["server"] = resilience
+                else:
+                    result.extra["resilience"] = resilience
             result.extra["host_seconds"] = time.perf_counter() - started
             result.extra["session"] = session.session_id
         except BaseException as error:  # resolve, never kill the worker
+            if isinstance(error, Exception):
+                error = self._as_library_error(error)
             with self._lock:
                 key = ("cancelled" if isinstance(error, QueryCancelled)
                        else "failed")
@@ -309,6 +530,50 @@ class QueryServer:
     def cache_stats(self) -> dict:
         """Snapshot of the shared program cache's counters."""
         return self.program_cache.stats()
+
+    def health(self) -> dict:
+        """Liveness snapshot: ``ok`` / ``degraded`` (breaker not
+        closed: primary-path queries are routed to the reference
+        fallback) / ``closed``."""
+        breaker = self.breaker.snapshot()
+        with self._lock:
+            closed = self._closed
+            queued = len(self._queue)
+            running = self._running
+        if closed:
+            status = "closed"
+        elif breaker["state"] != CircuitBreaker.CLOSED:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "queued": queued,
+            "running": running,
+            "max_concurrent": self.max_concurrent,
+            "max_queued": self.max_queued,
+            "breaker": breaker,
+        }
+
+    def resilience_stats(self) -> dict:
+        """Recovery counters: retries, degradations, sheds, breaker
+        opens, and — when a fault plan is active — its injection
+        ledger."""
+        with self._lock:
+            queries = dict(self.stats)
+        out = {
+            "queries": queries,
+            "breaker": self.breaker.snapshot(),
+            "retry_policy": {
+                "max_retries_default": self.default_budget.max_retries,
+                "base_backoff_s": self.retry_policy.base_backoff_s,
+                "multiplier": self.retry_policy.multiplier,
+                "max_backoff_s": self.retry_policy.max_backoff_s,
+            },
+        }
+        plan = active_plan()
+        out["fault_plan"] = plan.stats() if plan is not None else None
+        return out
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -326,12 +591,24 @@ class QueryServer:
         return True
 
     def close(self) -> None:
-        """Stop accepting queries and shut the executor threads down
-        (queued queries still run to completion)."""
+        """Stop accepting queries and shut the executor threads down.
+
+        RUNNING queries complete; QUEUED tickets resolve immediately as
+        CANCELLED with a typed :class:`ServerClosed` error — a caller
+        blocked in :meth:`QueryTicket.result` is never left hanging on
+        a ticket no worker will ever pick up.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            abandoned = self._queue[:]
+            self._queue.clear()
+            self.stats["cancelled"] += len(abandoned)
+            self._idle.notify_all()  # wake admission waiters to reject
+        for ticket, _session in abandoned:
+            ticket._fail(ServerClosed(
+                "server closed before the query started"))
         for _ in self._threads:
             self._work.release()  # wake every worker so it can exit
         for thread in self._threads:
@@ -363,6 +640,7 @@ class Session:
             Session._counter += 1
             self.session_id = Session._counter
         self._engine_instance = None
+        self._fallback_instance = None
         self._engine_lock = threading.Lock()
 
     def _engine(self):
@@ -406,6 +684,19 @@ class Session:
                     self._engine_instance.cancel_token = None
             return self._engine_instance
 
+    def _fallback_engine(self):
+        """The degradation target: a lazily built, session-private
+        reference engine (exact row-by-row evaluator over the same
+        shared catalog).  Session-private like the primary — engines
+        carry a per-query cancellation token, so sharing one across
+        sessions would race."""
+        with self._engine_lock:
+            if self._fallback_instance is None:
+                self._fallback_instance = create_engine(
+                    "reference", self.server.catalog
+                )
+            return self._fallback_instance
+
     def prepare(self, sql: str) -> PreparedStatement:
         """Compile a statement once for repeated execution.
 
@@ -432,6 +723,7 @@ class Session:
 
 
 __all__ = [
+    "CircuitBreaker",
     "QueryBudget",
     "QueryServer",
     "QueryTicket",

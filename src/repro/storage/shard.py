@@ -33,6 +33,14 @@ pruning keeps paying.
 an explicit override wins, then the ``REPRO_SHARDS`` environment knob,
 then 1 (single shard).  CI pins ``REPRO_SHARDS`` to run the ordinary
 suites through the distributed engine.
+
+Both policies are *pure functions of the base table*: re-partitioning
+the same catalog always yields bit-identical shard assignments.  The
+distributed engine's fault tolerance leans on this (docs/operations.md)
+— a failed or straggling shard can be retried or speculatively
+re-executed from the shared catalog alone, with no partition state to
+reconcile, and whole-query degradation to the unsharded base catalog is
+always exact because the shards partition it losslessly.
 """
 
 from __future__ import annotations

@@ -327,6 +327,28 @@ class TestSampledVerification:
         assert point.verify_kind == "oracle"
         assert "sampled chunks" in point.verify_note
 
+    def test_strata_are_disjoint_and_cover_more_chunks(self):
+        catalog = ssb_catalog(scale_factor=1, rows_per_sf=20_000, seed=9)
+        phase0, _ = sampled_catalog(catalog, 2048, phase=0)
+        phase1, _ = sampled_catalog(catalog, 2048, phase=1)
+        keys0 = set(phase0.get("lineorder").column("lo_orderkey").data)
+        keys1 = set(phase1.get("lineorder").column("lo_orderkey").data)
+        # Different phases sample different chunk strides of the fact
+        # table; the strata must not be the same sample.
+        assert keys0 != keys1
+
+    def test_stratified_replay_reports_disagreement_bound(self):
+        catalog = ssb_catalog(scale_factor=1, rows_per_sf=20_000, seed=9)
+        verifier = OracleVerifier(policy="stream", sample_rows=2048,
+                                  strata=3)
+        sql = ("SELECT SUM(lo_revenue) AS r, d_year FROM lineorder, ddate "
+               "WHERE lo_orderdate = d_datekey GROUP BY d_year")
+        point = SeriesPoint(config="sf1", engine="TCUDB", seconds=1.0)
+        verifier.verify_query(point, "TCUDB", catalog, sql)
+        assert point.verified is True
+        assert "3 strata" in point.verify_note
+        assert "disagreement<=" in point.verify_note
+
     def test_full_policy_unchanged(self, fuzz_catalog):
         verifier = OracleVerifier()
         sql = ("SELECT COUNT(*) AS c FROM lineorder, ddate "
