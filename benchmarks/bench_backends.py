@@ -1,0 +1,38 @@
+"""Tensor execution backend speedups (docs/architecture.md § Tensor
+backends)."""
+
+from repro.bench import run_backends
+from repro.bench.harness import geomean
+from repro.datasets.ssb import ssb_catalog
+from repro.engine.tcudb import TCUDBEngine, TCUDBOptions
+
+
+def test_backend_speedup(print_series, benchmark, bench_profile, verifier):
+    result = run_backends(profile=bench_profile, verifier=verifier)
+    print_series(result)
+    # The sim anchor of each shape is exactly 1.0 by construction.
+    for point in result.points:
+        if point.engine == "TCUDB-sim":
+            assert point.seconds == 1.0
+    # The invariants the experiment checks on every run must hold: zero
+    # backend-vs-sim row divergences beyond the fp16 tolerance,
+    # backend-invariant simulated seconds.
+    invariants = [n for n in result.notes if "divergences" in n]
+    assert invariants and "divergences (rel=0.002): 0" in invariants[0]
+    assert "backend-invariant: True" in invariants[0]
+    # The fast backend exists to shed host overhead: it must beat the
+    # simulator on wall-clock geomean across the query shapes (this is a
+    # pure single-thread BLAS/allocation win, so no cpu_count gate).
+    fast_speedups = [p.seconds for p in result.points
+                     if p.engine == "TCUDB-fast"]
+    assert fast_speedups
+    assert geomean(fast_speedups) >= 1.0, (
+        f"fast backend slower than sim on geomean: {fast_speedups}"
+    )
+    catalog = ssb_catalog(scale_factor=1,
+                          rows_per_sf=bench_profile.backends_rows,
+                          seed=47)
+    engine = TCUDBEngine(catalog, options=TCUDBOptions(backend="fast"))
+    from repro.bench.exp_backends import GRID_SQL
+
+    benchmark(lambda: engine.execute(GRID_SQL))

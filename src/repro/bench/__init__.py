@@ -16,6 +16,7 @@ from repro.bench.exp_casestudies import (
     run_fig13,
     run_table1,
 )
+from repro.bench.exp_backends import run_backends
 from repro.bench.exp_chaos import run_chaos
 from repro.bench.exp_compile_cache import run_compile_cache
 from repro.bench.exp_concurrency import run_concurrency
@@ -46,6 +47,7 @@ __all__ = [
     "run_ablation_fusion",
     "run_ablation_precision",
     "run_ablation_transform_location",
+    "run_backends",
     "run_chaos",
     "run_compile_cache",
     "run_concurrency",

@@ -1,0 +1,163 @@
+"""Execution-backend experiment: host speedup of fast/torch over sim.
+
+Runs the same SSB query shapes once per available *tensor execution
+backend* (:mod:`repro.tensor.backend`) and records, per shape, the host
+wall-clock speedup over the ``sim`` backend:
+
+* **sim**  — the NumPy simulator the cost model is calibrated against
+  (fp16 operands round-trip through binary16, fp32/fp64 accumulate);
+* **fast** — the optimized BLAS path (contiguous float32 sgemm fills,
+  preallocated grid accumulation buffers, single-pass bincount
+  epilogues);
+* **torch** — the PyTorch path, benchmarked only when torch is
+  importable (``TorchBackend.available()``).
+
+The experiment's ``unit`` is ``"ratio"``: each point's value is
+``host_seconds(sim) / host_seconds(backend)`` for the same query shape,
+so ``> 1.0`` means the backend beat the simulator on this host.  The
+raw measurement rides along in ``point.host_seconds``.
+
+Two invariants are checked on every run and recorded in the notes:
+
+* **tolerance-identical results** — every backend's rows must match the
+  sim run's rows within the TCU differential tolerance (``TCU_REL``,
+  covering the fp16-scaled paths where fast's fp32 accumulation is
+  *tighter* than sim's binary16 round-trip);
+* **backend-invariant simulated time** — simulated ``seconds`` come
+  only from the cost-model plan estimates, so they must not change with
+  the execution backend.
+
+Honesty over aspiration: the speedup is a *host* property — it measures
+how much interpreter/BLAS overhead the fast path sheds, not anything
+about real TCU hardware.  The margin shrinks as the fact table grows
+(the sgemm itself starts to dominate the per-call fill overhead), so
+the profile knobs keep the row count in the overhead-sensitive regime.
+The CPU count and the active-by-default backend policy are recorded in
+the notes; the regression gate never fails on these machine-dependent
+ratios (``host_measured`` experiments are excluded from value-drift
+warnings).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.harness import (
+    ExperimentResult,
+    annotate_tcu_point,
+    timed_execute,
+)
+from repro.bench.scale import ScaleProfile
+from repro.bench.verify import TCU_REL, OracleVerifier, result_rows, rows_match
+from repro.datasets.ssb import ssb_catalog
+from repro.engine.base import ExecutionMode
+from repro.engine.tcudb import TCUDBEngine, TCUDBOptions
+from repro.hardware.gpu import GPUDevice
+from repro.tensor.backend import TorchBackend, backend_policy
+
+# Three shapes spanning the TCU pipeline: a grouped star grid (dense
+# grid-accumulate, where operand-fill overhead dominates), a chained
+# join+aggregate (fold-chain gathers feeding one grid), and a
+# multi-aggregate join (the batched-GEMM stacked operand path).
+GRID_SQL = """
+    SELECT d_year, p_brand1, SUM(lo_revenue) AS rev
+    FROM lineorder, ddate, part
+    WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey
+    GROUP BY d_year, p_brand1;"""
+JOIN_AGG_SQL = """
+    SELECT d_year, SUM(lo_revenue) AS rev, COUNT(*) AS orders
+    FROM lineorder, ddate
+    WHERE lo_orderdate = d_datekey
+    GROUP BY d_year;"""
+MULTI_AGG_SQL = """
+    SELECT s_region, SUM(lo_revenue) AS rev, SUM(lo_supplycost) AS cost,
+           COUNT(*) AS orders
+    FROM lineorder, supplier
+    WHERE lo_suppkey = s_suppkey
+    GROUP BY s_region;"""
+
+SHAPES = (
+    ("star_grid", GRID_SQL),
+    ("join_agg", JOIN_AGG_SQL),
+    ("multi_agg", MULTI_AGG_SQL),
+)
+
+
+def run_backends(
+    rows: int | None = None, seed: int = 47, *,
+    profile: ScaleProfile | None = None,
+    verifier: OracleVerifier | None = None,
+) -> ExperimentResult:
+    """Host wall-clock speedup of the fast/torch backends over sim."""
+    if rows is None:
+        rows = profile.backends_rows if profile else 12_000
+    reps = profile.backends_reps if profile else 3
+    result = ExperimentResult(
+        "backend_speedup",
+        "Tensor execution backends: host wall-clock speedup of the "
+        "optimized fast (and torch, when installed) backend over the "
+        "NumPy simulator, per SSB query shape",
+        unit="ratio",
+        host_measured=True,
+    )
+    catalog = ssb_catalog(scale_factor=1, rows_per_sf=rows, seed=seed)
+    device = GPUDevice()
+    backends = ["sim", "fast"]
+    if TorchBackend.available():
+        backends.append("torch")
+
+    def engine_for(backend: str) -> TCUDBEngine:
+        options = TCUDBOptions(backend=backend)
+        return TCUDBEngine(catalog, device=device, mode=ExecutionMode.REAL,
+                           options=options)
+
+    divergences = 0
+    simulated_invariant = True
+    for shape, sql in SHAPES:
+        sim_host = None
+        sim_rows = None
+        sim_seconds = None
+        for backend in backends:
+            run, host_seconds = timed_execute(engine_for(backend), sql,
+                                              repeats=reps)
+            if sim_host is None:  # the sim anchor
+                sim_host = host_seconds
+                sim_rows = result_rows(run)
+                sim_seconds = run.seconds
+            if rows_match(result_rows(run), sim_rows,
+                          rel=TCU_REL) is not None:
+                divergences += 1
+            if run.seconds != sim_seconds:
+                simulated_invariant = False
+            speedup = sim_host / host_seconds
+            point = result.add(shape, f"TCUDB-{backend}", speedup)
+            point.host_seconds = host_seconds
+            point.normalized = speedup
+            annotate_tcu_point(point, run)
+            if verifier is not None:
+                verifier.verify_query(
+                    point, "TCUDB", catalog, sql, device=device,
+                    options=TCUDBOptions(backend=backend),
+                )
+        result.notes.append(
+            f"{shape}: host seconds "
+            + ", ".join(
+                f"{p.engine.split('-', 1)[1]}: {p.host_seconds:.4f}s"
+                for p in result.points if p.config == shape
+            )
+        )
+    result.notes.append(
+        f"rows_per_sf={rows}, repeats={reps}; value = host speedup over "
+        f"the sim backend (> 1.0 means the backend won)"
+    )
+    result.notes.append(
+        f"backend-vs-sim row divergences (rel={TCU_REL}): {divergences}; "
+        f"simulated seconds backend-invariant: {simulated_invariant}"
+    )
+    result.notes.append(
+        f"host cpu_count={os.cpu_count()}; default backend policy "
+        f"resolves to {backend_policy(None)!r}; torch "
+        + ("benchmarked" if "torch" in backends else
+           "not installed — skipped")
+    )
+    return result

@@ -51,11 +51,40 @@ def environment_fingerprint() -> dict:
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "numpy": numpy.__version__,
+        "numpy_blas": _blas_info(numpy),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "executable": os.path.basename(sys.executable),
         "pythonhashseed": os.environ.get("PYTHONHASHSEED"),
+        "backend": _active_backend(),
     }
+
+
+def _active_backend() -> str:
+    """The tensor execution backend the environment policy resolves to
+    (``REPRO_BACKEND`` or the ``sim`` default) — host wall-clock numbers
+    are only comparable between reports produced by the same backend."""
+    from repro.common.errors import ConfigError
+    from repro.tensor.backend import backend_policy
+
+    try:
+        return backend_policy(None)
+    except ConfigError as exc:  # malformed REPRO_BACKEND: record, not crash
+        return f"invalid ({exc})"
+
+
+def _blas_info(numpy) -> str | None:
+    """NumPy's linked BLAS (``name version``), or None when the config
+    introspection API is unavailable — the fast backend's speedups are a
+    property of this library, so reports must say which one ran."""
+    try:
+        config = numpy.show_config(mode="dicts")
+        blas = config["Build Dependencies"]["blas"]
+        name = blas.get("name") or "unknown"
+        version = blas.get("version")
+        return f"{name} {version}" if version else name
+    except Exception:
+        return None
 
 
 @dataclass

@@ -34,6 +34,7 @@ from repro.bench.exp_casestudies import (
     run_fig13,
     run_table1,
 )
+from repro.bench.exp_backends import run_backends
 from repro.bench.exp_chaos import run_chaos
 from repro.bench.exp_compile_cache import run_compile_cache
 from repro.bench.exp_concurrency import run_concurrency
@@ -99,6 +100,7 @@ def iter_experiments(
     yield "compile_cache", lambda: run_compile_cache(**kwargs)
     yield "scaleout", lambda: run_scaleout(**kwargs)
     yield "chaos", lambda: run_chaos(**kwargs)
+    yield "backends", lambda: run_backends(**kwargs)
 
 
 def run_suite(

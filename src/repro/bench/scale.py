@@ -100,6 +100,14 @@ class ScaleProfile:
     compile_cache_statements: int = 4
     compile_cache_executions: int = 6
     compile_cache_reps: int = 3
+    # Backend experiment: SSB generator rows and host-timing repeats for
+    # the sim-vs-fast (and torch, when installed) execution-backend
+    # speedup series (REAL mode; the value reported is a host speedup
+    # ratio over the sim-backend anchor, so the row count stays in the
+    # regime where fill overhead — what the fast backend sheds — is a
+    # visible fraction of the query).
+    backends_rows: int = 12_000
+    backends_reps: int = 3
     # Chaos experiment: injected fault rates (probability per shard
     # execution) swept against availability/success-rate/p99 overhead,
     # SSB generator rows, shard count, queries per point and host-timing
@@ -163,6 +171,8 @@ SMOKE = ScaleProfile(
     compile_cache_statements=3,
     compile_cache_executions=4,
     compile_cache_reps=2,
+    backends_rows=10_000,
+    backends_reps=3,
     chaos_fault_rates=(0.0, 0.2),
     chaos_rows=6_000,
     chaos_shards=2,
@@ -205,6 +215,8 @@ STRESS = ScaleProfile(
     compile_cache_statements=6,
     compile_cache_executions=10,
     compile_cache_reps=3,
+    backends_rows=30_000,
+    backends_reps=3,
 )
 
 PROFILES: dict[str, ScaleProfile] = {

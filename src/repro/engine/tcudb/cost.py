@@ -255,6 +255,25 @@ def estimate_fold_step(host: HostProfile, device: GPUDevice,
     )
 
 
+def estimate_fold_chain(host: HostProfile, device: GPUDevice,
+                        step_sizes: list[tuple[int, int]],
+                        chained_fill_s: float) -> float:
+    """One fused ``FoldJoinChain``: a single ledger entry whose seconds
+    are exactly the sum of the sequential per-step fold estimates.
+
+    ``step_sizes`` holds one ``(fact_rows, dim_rows)`` pair per folded
+    dimension, with ``fact_rows`` the survivor count *entering* that
+    step.  The fusion is a host-side rewrite — the simulated kernel
+    stream (fills, conversions, gathers) is unchanged — so charging the
+    exact sequential sum keeps fused programs' simulated time
+    byte-identical to the unfused chain.
+    """
+    return sum(
+        estimate_fold_step(host, device, fact_rows, dim_rows, chained_fill_s)
+        for fact_rows, dim_rows in step_sizes
+    )
+
+
 def estimate_shard_merge(device: GPUDevice, grid_cells: int,
                          n_shards: int, n_grids: int = 1) -> float:
     """Allreduce-style merge of per-shard aggregation grids.

@@ -32,9 +32,10 @@ from repro.engine.parallel import parallel_map, workers_policy
 from repro.engine.relational import equi_join_indices, nonequi_join_indices
 from repro.engine.tcudb.cost import PlanCost, Strategy
 from repro.hardware.gpu import GPUDevice
+from repro.tensor.backend import get_backend
 from repro.tensor.coo import COOMatrix, dense_from_coo
 from repro.tensor.matmul import msplit_gemm
-from repro.tensor.tiled import TiledMatrix
+from repro.tensor.tiled import TiledMatrix, TileLayout
 
 # Largest dense matrix/grid the driver will actually materialize for
 # numeric emulation; beyond this, the semantic fast path takes over.
@@ -193,16 +194,17 @@ class OperandStructure:
             shape=(self.g, self.k),
         )
 
-    def dense(self, values: np.ndarray) -> np.ndarray:
-        out = np.zeros(self.g * self.k, dtype=np.float64)
+    def dense(self, values: np.ndarray, dtype=np.float64) -> np.ndarray:
+        out = np.zeros(self.g * self.k, dtype=dtype)
         out[self.cells] = self.cell_sums(values)
         return out.reshape(self.g, self.k)
 
-    def dense_stack(self, values_list: list[np.ndarray]) -> np.ndarray:
+    def dense_stack(self, values_list: list[np.ndarray],
+                    dtype=np.float64) -> np.ndarray:
         """(n_agg, g, k) stacked operand: shared coordinates, one slice of
-        fill values per aggregate."""
-        stack = np.zeros((len(values_list), self.g * self.k),
-                         dtype=np.float64)
+        fill values per aggregate.  ``dtype`` follows the active
+        backend's fill dtype (float32 stacks feed sgemm directly)."""
+        stack = np.zeros((len(values_list), self.g * self.k), dtype=dtype)
         for i, values in enumerate(values_list):
             stack[i, self.cells] = self.cell_sums(values)
         return stack.reshape(len(values_list), self.g, self.k)
@@ -239,11 +241,17 @@ class TCUDriver:
 
     def __init__(self, device: GPUDevice, mode: ExecutionMode,
                  chunk_rows: int | None = None,
-                 workers: int | None = None):
+                 workers: int | None = None,
+                 backend: str | None = None):
         self.device = device
         self.mode = mode
         self.chunk_rows = chunk_rows
         self.workers = workers_policy(workers)
+        # Kernel-primitive layer: "sim" (the simulated unit, the oracle),
+        # "fast" (optimized NumPy/BLAS) or "torch"; see
+        # repro.tensor.backend for the selection policy and the
+        # equivalence contract.
+        self.backend = get_backend(backend)
 
     # -- shared charging ---------------------------------------------------- #
 
@@ -346,25 +354,28 @@ class TCUDriver:
     @staticmethod
     def join_operand_matrices(
         prepared: PreparedJoin,
+        backend=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Dense indicator/comparison operand matrices of one join
         (Sections 3.1/3.4), shared by the legacy 2-way path and the
-        TensorProgram ``Gemm`` operator."""
+        TensorProgram ``Gemm`` operator.  ``backend`` supplies the
+        dense-from-COO fill kernel (``None``: the simulator's)."""
         from repro.engine.tcudb.transform import comparison_matrix
 
+        fill = backend.dense_from_coo if backend is not None else dense_from_coo
         n = prepared.left_keys_mapped.size
         m = prepared.right_keys_mapped.size
         k = prepared.k
         if prepared.op == "=":
-            left = dense_from_coo(
+            left = fill(
                 np.arange(n), prepared.left_keys_mapped, np.ones(n), (n, k)
             )
         else:
             side = comparison_matrix(
                 prepared.left_keys_mapped, prepared.domain_values, prepared.op
             )
-            left = dense_from_coo(side.rows, side.cols, side.vals, (n, k))
-        right = dense_from_coo(
+            left = fill(side.rows, side.cols, side.vals, (n, k))
+        right = fill(
             np.arange(m), prepared.right_keys_mapped, np.ones(m), (m, k)
         )
         return left, right
@@ -373,9 +384,9 @@ class TCUDriver:
         n = prepared.left_keys_mapped.size
         if self.chunk_rows is not None and n > self.chunk_rows:
             return self._join_pairs_chunked(prepared, plan)
-        left, right = self.join_operand_matrices(prepared)
+        left, right = self.join_operand_matrices(prepared, self.backend)
         product = self._execute_gemm(left, right.T, plan)
-        rows, cols = np.nonzero(product > 0)
+        rows, cols = self.backend.nonzero(product > 0)
         return rows, cols
 
     def _join_pairs_chunked(self, prepared: PreparedJoin, plan: PlanCost):
@@ -386,9 +397,10 @@ class TCUDriver:
 
         m = prepared.right_keys_mapped.size
         k = prepared.k
-        right = dense_from_coo(
+        right = self.backend.dense_from_coo(
             np.arange(m), prepared.right_keys_mapped, np.ones(m), (m, k)
         ).T
+
         chunk = self.chunk_rows
         n = prepared.left_keys_mapped.size
 
@@ -396,17 +408,17 @@ class TCUDriver:
             keys = prepared.left_keys_mapped[start:start + chunk]
             nc = keys.size
             if prepared.op == "=":
-                left = dense_from_coo(
+                left = self.backend.dense_from_coo(
                     np.arange(nc), keys, np.ones(nc), (nc, k)
                 )
             else:
                 side = comparison_matrix(
                     keys, prepared.domain_values, prepared.op
                 )
-                left = dense_from_coo(side.rows, side.cols, side.vals,
-                                      (nc, k))
+                left = self.backend.dense_from_coo(side.rows, side.cols,
+                                                   side.vals, (nc, k))
             product = self._execute_gemm(left, right, plan)
-            rows, cols = np.nonzero(product > 0)
+            rows, cols = self.backend.nonzero(product > 0)
             return rows + start, cols
 
         # Chunks are independent GEMMs over a shared read-only build side;
@@ -489,10 +501,10 @@ class TCUDriver:
                                                      dtype=np.float64)],
                                          [right_values],
                                          plan)[0]
-        mat_a = dense_from_coo(
+        mat_a = self.backend.dense_from_coo(
             left.row_codes(), left.keys_mapped, left_values, (left.g, k)
         )
-        mat_b = dense_from_coo(
+        mat_b = self.backend.dense_from_coo(
             right.row_codes(), right.keys_mapped,
             _resolve_values(right_values), (right.g, k)
         )
@@ -517,31 +529,54 @@ class TCUDriver:
         lrows, lkeys = left.row_codes(), np.asarray(left.keys_mapped)
         rrows, rkeys = right.row_codes(), np.asarray(right.keys_mapped)
 
+        def chunk_operands(k0: int, i: int, lsel, rsel, kc: int):
+            mat_a = self.backend.dense_from_coo(
+                lrows[lsel], lkeys[lsel] - k0,
+                np.asarray(left_values_list[i])[lsel], (left.g, kc),
+            )
+            mat_b = self.backend.dense_from_coo(
+                rrows[rsel], rkeys[rsel] - k0,
+                _resolve_values(right_values_list[i], rsel),
+                (right.g, kc),
+            )
+            return mat_a, mat_b
+
+        grids = [np.zeros((left.g, right.g)) for _ in range(n_slices)]
+        if (self.workers <= 1
+                and plan.strategy not in (Strategy.SPARSE, Strategy.BLOCKED)):
+            # Sequential dense accumulation: the backend adds each chunk's
+            # partial straight into the output grid (matmul_into), reusing
+            # one scratch buffer across all key-domain chunks instead of
+            # materializing a partial grid per chunk.  Same accumulation
+            # order as the parallel merge below, so both stay
+            # bit-identical per backend.
+            for k0 in range(0, k, chunk):
+                k1 = min(k0 + chunk, k)
+                lsel = (lkeys >= k0) & (lkeys < k1)
+                rsel = (rkeys >= k0) & (rkeys < k1)
+                if not lsel.any() or not rsel.any():
+                    continue
+                for i in range(n_slices):
+                    mat_a, mat_b = chunk_operands(k0, i, lsel, rsel, k1 - k0)
+                    self.backend.matmul_into(grids[i], self.device,
+                                             mat_a, mat_b.T, plan.precision)
+            return grids
+
         def chunk_partials(k0: int) -> list[np.ndarray] | None:
             k1 = min(k0 + chunk, k)
             lsel = (lkeys >= k0) & (lkeys < k1)
             rsel = (rkeys >= k0) & (rkeys < k1)
             if not lsel.any() or not rsel.any():
                 return None
-            kc = k1 - k0
             partials = []
             for i in range(n_slices):
-                mat_a = dense_from_coo(
-                    lrows[lsel], lkeys[lsel] - k0,
-                    np.asarray(left_values_list[i])[lsel], (left.g, kc),
-                )
-                mat_b = dense_from_coo(
-                    rrows[rsel], rkeys[rsel] - k0,
-                    _resolve_values(right_values_list[i], rsel),
-                    (right.g, kc),
-                )
+                mat_a, mat_b = chunk_operands(k0, i, lsel, rsel, k1 - k0)
                 partials.append(self._execute_gemm(mat_a, mat_b.T, plan))
             return partials
 
         # Partial grids compute in parallel but sum on this thread in
         # chunk order — float accumulation order matches the sequential
         # loop, keeping the parallel grids bit-identical.
-        grids = [np.zeros((left.g, right.g)) for _ in range(n_slices)]
         for partials in parallel_map(chunk_partials, range(0, k, chunk),
                                      self.workers):
             if partials is None:
@@ -575,16 +610,24 @@ class TCUDriver:
             left_values.append(left.values_per_agg[i])
             right_values.append(partial(right.values_for, i))
         if plan.strategy == Strategy.SPARSE:
-            # Shared structure + per-aggregate direct-COO tile builds.
-            stacked = [
-                self._execute_gemm(
-                    left_structure.coo(lv),
-                    right_structure.coo(_resolve_values(rv)).transpose(),
-                    plan,
-                )
-                for lv, rv in zip(left_values, right_values)
-            ]
-            stacked = np.stack(stacked)
+            # Batched sparse tiles: the tile structure (block keys,
+            # uniques, within-tile offsets) is derived ONCE from the
+            # shared COO coordinates; each aggregate of the batch then
+            # materializes its tiles with a single fancy-index fill —
+            # no per-grid TiledMatrix re-derivation.
+            g1, g2 = left_structure.g, right_structure.g
+            layout_a = TileLayout.from_coords(
+                left_structure.rows, left_structure.cols, (g1, k))
+            layout_b = TileLayout.from_coords(
+                right_structure.cols, right_structure.rows, (k, g2))
+            products = []
+            for lv, rv in zip(left_values, right_values):
+                tiled_a = layout_a.fill(left_structure.cell_sums(lv))
+                tiled_b = layout_b.fill(
+                    right_structure.cell_sums(_resolve_values(rv)))
+                product, _ = tiled_a.spmm(tiled_b)
+                products.append(product.to_dense()[:g1, :g2])
+            stacked = np.stack(products)
         elif self.chunk_rows is not None and k > self.chunk_rows:
             # Grid-wise accumulation over key-domain chunks; the shared
             # coordinate structure is rebuilt per chunk slice, but only
@@ -594,21 +637,26 @@ class TCUDriver:
                                       right_values, plan)
             )
         else:
-            a_stack = left_structure.dense_stack(left_values)
+            fill_dtype = self.backend.fill_dtype
+            a_stack = left_structure.dense_stack(left_values,
+                                                 dtype=fill_dtype)
             b_stack = right_structure.dense_stack(
-                [_resolve_values(rv) for rv in right_values])
+                [_resolve_values(rv) for rv in right_values],
+                dtype=fill_dtype)
             if plan.strategy == Strategy.BLOCKED:
                 stacked = np.stack([
                     np.asarray(
-                        msplit_gemm(self.device, a, b.T, plan.precision)[0],
+                        msplit_gemm(self.device, a, b.T, plan.precision,
+                                    backend=self.backend)[0],
                         dtype=np.float64,
                     )
                     for a, b in zip(a_stack, b_stack)
                 ])
             else:
                 stacked = np.asarray(
-                    self.device.tcu.matmul(
-                        a_stack, b_stack.transpose(0, 2, 1), plan.precision
+                    self.backend.matmul(
+                        self.device, a_stack, b_stack.transpose(0, 2, 1),
+                        plan.precision
                     ),
                     dtype=np.float64,
                 )
@@ -644,10 +692,12 @@ class TCUDriver:
         if isinstance(b, COOMatrix):
             b = b.to_dense()
         if plan.strategy == Strategy.BLOCKED:
-            result, _ = msplit_gemm(self.device, a, b, plan.precision)
+            result, _ = msplit_gemm(self.device, a, b, plan.precision,
+                                    backend=self.backend)
             return np.asarray(result, dtype=np.float64)
         return np.asarray(
-            self.device.tcu.matmul(a, b, plan.precision), dtype=np.float64
+            self.backend.matmul(self.device, a, b, plan.precision),
+            dtype=np.float64,
         )
 
     def _grids_semantic(self, left, right, aggregates, g1, g2):

@@ -87,6 +87,13 @@ class TCUDBOptions:
     # execution would evict the previous shard's entry (the fingerprint
     # guard treats a mismatch as stale) and the cache would thrash.
     cache_namespace: str = ""
+    # Tensor backend for the kernel primitives: "sim" (the simulated
+    # unit, the reference oracle), "fast" (optimized NumPy/BLAS) or
+    # "torch" (optional).  ``None`` defers to the REPRO_BACKEND policy;
+    # see repro.tensor.backend.  Simulated seconds are charged by the
+    # cost model regardless of backend, so this only changes host
+    # wall-clock (within the documented numeric envelope).
+    backend: str | None = None
 
 
 class TCUDBEngine(Engine):
@@ -121,7 +128,8 @@ class TCUDBEngine(Engine):
         )
         self.driver = TCUDriver(self.device, mode,
                                 chunk_rows=self._driver_chunk_rows(),
-                                workers=self.options.workers)
+                                workers=self.options.workers,
+                                backend=self.options.backend)
         self._fallback = YDBEngine(catalog, self.device, mode=mode)
         # Per-query cooperative cancellation: the serving front-end sets
         # this before execute_bound and clears it after; operators poll
@@ -236,7 +244,12 @@ class TCUDBEngine(Engine):
         Every option that changes what ``lower_query`` produces (or how
         operators execute) except ``workers``: morsel parallelism is
         bit-identical to sequential execution by contract, so sessions
-        with different worker counts share programs.
+        with different worker counts share programs.  The *resolved*
+        backend name is part of the key: backends only differ within the
+        numeric envelope, but cached-program isolation keeps any future
+        backend-specific specialization honest (and the key resolves the
+        env default so two engines under different ``REPRO_BACKEND``
+        values never share an entry).
         """
         options = self.options
         return (
@@ -251,6 +264,7 @@ class TCUDBEngine(Engine):
             options.chunk_rows,
             options.stream_prestage,
             options.cache_namespace,
+            self.driver.backend.name,
         )
 
     def execute_bound(self, bound: BoundQuery) -> QueryResult:

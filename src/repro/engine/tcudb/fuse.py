@@ -11,6 +11,18 @@ the program notes so executed programs stay inspectable.
 
 Rewrite rules, applied in order:
 
+``fold-chain``
+    A run of back-to-back ``FoldJoin`` steps (each feeding the next's
+    fact side, with no other consumers in between) collapses into one
+    :class:`~repro.engine.tcudb.ops.FoldJoinChain`: every step probes
+    the original fact rows against its own key domain, survivorship
+    accumulates in one combined mask, and each needed dimension column
+    is gathered once on the final survivors instead of being gathered
+    early and refiltered by every later step.  The cost model charges a
+    single fold step for the run (the exact sum of the sequential
+    per-step estimates), and the fuzz chain-join corpus stays
+    bit-identical.
+
 ``batched-gemm``
     A ``Gemm`` consuming a ``ValueFill`` whose product needs two or more
     grids (the per-aggregate fan-out of a JOIN_AGG or grouped reduce) is
@@ -67,6 +79,56 @@ def fuse_program(program: TensorProgram) -> TensorProgram:
     rewritten: dict[str, ops.TensorOp] = {}
     dropped: dict[str, str] = {}  # fused MaskApply id -> its new host op
     notes: list[str] = []
+
+    # -- rule: fold-chain -------------------------------------------------- #
+    consumers: dict[str, list[str]] = {}
+    for op in program.ops:
+        for input_id in op.input_ids():
+            consumers.setdefault(input_id, []).append(op.id)
+    fold_ids = {op.id for op in program.ops if type(op) is ops.FoldJoin}
+    fused_folds: set[str] = set()
+    for op in program.ops:
+        if type(op) is not ops.FoldJoin or op.id in fused_folds:
+            continue
+        if op.fact_input in fold_ids:
+            continue  # not the head of a run
+        run = [op]
+        while True:
+            run_consumers = consumers.get(run[-1].id, [])
+            if len(run_consumers) != 1:
+                break
+            successor = by_id.get(run_consumers[0])
+            if (type(successor) is not ops.FoldJoin
+                    or successor.fact_input != run[-1].id):
+                break
+            run.append(successor)
+        fused_folds.update(fold.id for fold in run)
+        if len(run) < 2:
+            continue
+        # The chain takes the LAST fold's id and program slot (every dim
+        # scan of the run precedes it), so downstream consumers keep
+        # their wiring; the earlier folds of the run are dropped.
+        rewritten[run[-1].id] = ops.FoldJoinChain(
+            id=run[-1].id,
+            fact_input=run[0].fact_input,
+            steps=[
+                ops.FoldStep(
+                    dim_input=fold.dim_input,
+                    dim_binding=fold.dim_binding,
+                    fact_column=fold.fact_column,
+                    dim_column=fold.dim_column,
+                    needed=fold.needed,
+                )
+                for fold in run
+            ],
+        )
+        for fold in run[:-1]:
+            dropped[fold.id] = run[-1].id
+        notes.append(
+            f"fusion: fold-chain collapsed {len(run)} chained-join steps "
+            f"({', '.join(fold.dim_binding for fold in run)}) into one "
+            "gather pass"
+        )
 
     # -- rule: batched-gemm ------------------------------------------------ #
     for op in program.ops:

@@ -9,6 +9,9 @@ generator).  The catalog:
 * :class:`TableSource`    — scan one binding, apply its local filters;
 * :class:`FoldJoin`       — one chained-join step folding a dimension
   into the fact side (Section 3.2's matrix->table conversion);
+* :class:`FoldJoinChain`  — a fused run of consecutive fold steps
+  (installed by the fusion pass): one combined survivor mask, one
+  gather pass over the final survivors;
 * :class:`IndicatorBuild` — union key domain + indicator/comparison
   operand matrices for one join step (Section 3.1/3.4 encodings);
 * :class:`ValueFill`      — value-filled grouped operand matrices for a
@@ -47,6 +50,7 @@ from repro.engine.tcudb.codegen import OpEmission
 from repro.engine.tcudb.cost import (
     OperatorGeometry,
     Strategy,
+    estimate_fold_chain,
     estimate_fold_step,
     estimate_mask_apply,
     estimate_physical_stage,
@@ -499,12 +503,13 @@ class FoldJoin(TensorOp):
         gathered = dict(fact.gathered)
         if is_unique:
             row_of = np.argsort(dim_keys, kind="stable")
-            dim_rows = row_of[np.clip(positions, 0,
-                                      max(dim_keys.size - 1, 0))]
+            dim_rows = ctx.backend.gather(
+                row_of, np.clip(positions, 0, max(dim_keys.size - 1, 0)))
             for key in self.needed:
-                gathered[key] = dim_env.lookup(key)[dim_rows]
+                gathered[key] = ctx.backend.gather(dim_env.lookup(key),
+                                                   dim_rows)
         else:
-            counts = np.bincount(
+            counts = ctx.backend.bincount(
                 np.searchsorted(unique_keys, dim_keys),
                 minlength=max(unique_keys.size, 1),
             )
@@ -537,6 +542,139 @@ class FoldJoin(TensorOp):
             return empty, np.array([], dtype=bool)
         return (np.concatenate(positions_parts),
                 np.concatenate(matched_parts))
+
+
+@dataclass(frozen=True)
+class FoldStep:
+    """One folded dimension of a :class:`FoldJoinChain` (the same
+    fields a standalone :class:`FoldJoin` carries)."""
+
+    dim_input: str
+    dim_binding: str
+    fact_column: BoundColumn
+    dim_column: BoundColumn
+    needed: list[str]
+
+
+@dataclass
+class FoldJoinChain(TensorOp):
+    """Fold a run of consecutive dimensions in one gather pass.
+
+    The fusion pass collapses back-to-back :class:`FoldJoin` steps into
+    this op: every step probes the *original* fact rows (searchsorted is
+    per-row, so probing unfiltered rows then masking is bit-identical to
+    the step-at-a-time refilter), survivorship accumulates in one
+    combined mask, and each needed dimension column is gathered exactly
+    once — on the rows that survive the whole run — instead of being
+    gathered early and refiltered by every later step.
+
+    The cost model charges a single fold step for the run: one ledger
+    entry whose seconds are exactly the sum of the sequential per-step
+    estimates (each over the rows that would have survived into that
+    step), so fused programs keep byte-identical simulated time.
+    """
+
+    fact_input: str
+    steps: list[FoldStep]
+
+    kind = "fold_chain"
+
+    def input_ids(self) -> list[str]:
+        return [self.fact_input] + [step.dim_input for step in self.steps]
+
+    def describe(self) -> str:
+        folds = ", ".join(
+            f"{step.fact_column.key} = {step.dim_column.key}"
+            for step in self.steps
+        )
+        return f"{self.id}: FoldJoinChain({folds})"
+
+    def emission(self, ctx) -> OpEmission:
+        bindings = ", ".join(step.dim_binding for step in self.steps)
+        return OpEmission(
+            kind="fold_chain",
+            label=f"FoldJoinChain({bindings})",
+            lines=[
+                f"  // fused chained-join run: fold {bindings} into the "
+                "fact side in one pass",
+                *[
+                    "  fold_gather_kernel<<<grid, block>>>"
+                    f"(d_fact_keys, d_{step.dim_binding}_keys, d_gathered);"
+                    for step in self.steps
+                ],
+            ],
+        )
+
+    def execute(self, ctx) -> FactValue:
+        fact = ctx.value(self.fact_input)
+        if isinstance(fact, RelationValue):
+            fact = FactValue(env=fact.env,
+                             weights=np.ones(fact.env.n_rows), gathered={})
+        combined = np.ones(fact.env.n_rows, dtype=bool)
+        weights = fact.weights
+        # Deferred per-step gathers, executed once on the final
+        # survivors; kept in step order so the gathered-column layout
+        # matches the sequential fold chain exactly.
+        deferred: list[tuple] = []
+        step_sizes: list[tuple[int, int]] = []
+        for step in self.steps:
+            dim_env = ctx.value(step.dim_input).env
+            dim_keys = dim_env.lookup(step.dim_column.key)
+            fact_keys = fact.column(step.fact_column.key)
+            # Rows that would have survived into this step of the
+            # sequential chain — what its estimate would have charged.
+            step_sizes.append((int(combined.sum()), int(dim_keys.size)))
+            unique_keys = np.unique(dim_keys)
+            if unique_keys.size == 0:
+                # Empty dimension: the join eliminates every fact row
+                # (later steps still execute on the empty survivor set,
+                # exactly like the sequential ops would).
+                combined[:] = False
+                deferred.append(("empty", step.needed))
+                continue
+            is_unique = unique_keys.size == dim_keys.size
+            if step.needed and not is_unique:
+                raise FallbackRequired(
+                    f"dimension {step.dim_binding} has duplicate join keys "
+                    "but contributes group/factor columns",
+                    kind="pattern",
+                )
+            positions, matched = FoldJoin._probe_chunked(
+                ctx, unique_keys, fact_keys)
+            if is_unique:
+                row_of = np.argsort(dim_keys, kind="stable")
+                dim_rows = ctx.backend.gather(
+                    row_of,
+                    np.clip(positions, 0, max(dim_keys.size - 1, 0)))
+                deferred.append(("gather", dim_env, dim_rows, step.needed))
+            else:
+                counts = ctx.backend.bincount(
+                    np.searchsorted(unique_keys, dim_keys),
+                    minlength=max(unique_keys.size, 1),
+                )
+                multiplicity = np.where(matched, counts[positions], 0)
+                weights = weights * multiplicity
+            combined &= matched
+        ctx.charge(
+            self, STAGE_FILL,
+            estimate_fold_chain(ctx.host, ctx.device, step_sizes,
+                                CHAINED_JOIN_FILL_S),
+        )
+        folded = FactValue(env=fact.env, weights=weights,
+                           gathered=dict(fact.gathered))
+        if not combined.all():
+            folded = folded.filtered(combined)
+        for entry in deferred:
+            if entry[0] == "empty":
+                for key in entry[1]:
+                    folded.gathered[key] = np.array([], dtype=np.int64)
+                continue
+            _, dim_env, dim_rows, needed = entry
+            surviving_rows = dim_rows[combined]
+            for key in needed:
+                folded.gathered[key] = ctx.backend.gather(
+                    dim_env.lookup(key), surviving_rows)
+        return folded
 
 
 @dataclass
@@ -1052,7 +1190,7 @@ class NonzeroExtract(TensorOp):
         if product.pair_indices is not None:
             left_idx, right_idx = product.pair_indices
         elif product.dense is not None:
-            left_idx, right_idx = np.nonzero(product.dense > 0)
+            left_idx, right_idx = ctx.backend.nonzero(product.dense > 0)
         elif ctx.mode == ExecutionMode.REAL:
             left_idx, right_idx = ctx.driver._join_pairs_semantic(
                 operands.prepared
@@ -1113,9 +1251,12 @@ class NonzeroExtract(TensorOp):
         self._charge_epilogue(ctx, extracted.n_rows)
         env = extracted.merged_environment()
         mask = conjunction_mask(self.epilogue_predicates, env, ctx.bound)
+        bindings = list(extracted.indices)
+        masked = ctx.backend.apply_mask(
+            [extracted.indices[b] for b in bindings], mask)
         return ChainValue(
             envs=extracted.envs,
-            indices={b: idx[mask] for b, idx in extracted.indices.items()},
+            indices=dict(zip(bindings, masked)),
             n_rows=int(np.count_nonzero(mask)),
             joined=set(extracted.joined),
         )
@@ -1212,7 +1353,7 @@ class GridAggregate(TensorOp):
                                n_rows=estimate)
         grids, count_grid = product.grids, product.count_grid
         present = count_grid > 0
-        rows, cols = np.nonzero(present)
+        rows, cols = ctx.backend.nonzero(present)
         if rows.size == 0 and not operands.grouped:
             # Non-empty operands but zero matching pairs: the ungrouped
             # result row still exists (COUNT = 0, sums 0.0).
@@ -1247,10 +1388,12 @@ class GridAggregate(TensorOp):
         self._charge_epilogue(ctx, groups.n_rows)
         mask = having_mask(ctx, self.epilogue_predicates,
                            self.epilogue_nodes, groups)
+        keys = list(groups.group_columns)
+        masked_groups = ctx.backend.apply_mask(
+            [groups.group_columns[k] for k in keys], mask)
         return GroupsValue(
-            agg_values=[np.asarray(a)[mask] for a in groups.agg_values],
-            group_columns={key: np.asarray(v)[mask]
-                           for key, v in groups.group_columns.items()},
+            agg_values=ctx.backend.apply_mask(groups.agg_values, mask),
+            group_columns=dict(zip(keys, masked_groups)),
             n_rows=int(np.count_nonzero(mask)),
         )
 
@@ -1343,8 +1486,10 @@ class MaskApply(TensorOp):
             )
         env = chain.merged_environment()
         mask = conjunction_mask(self.predicates, env, ctx.bound)
-        indices = {b: idx[mask] for b, idx in chain.indices.items()}
-        return ChainValue(envs=chain.envs, indices=indices,
+        bindings = list(chain.indices)
+        masked = ctx.backend.apply_mask(
+            [chain.indices[b] for b in bindings], mask)
+        return ChainValue(envs=chain.envs, indices=dict(zip(bindings, masked)),
                           n_rows=int(np.count_nonzero(mask)),
                           joined=set(chain.joined))
 
@@ -1358,10 +1503,12 @@ class MaskApply(TensorOp):
             ))
             return GroupsValue(agg_values=None, group_columns=None, n_rows=n)
         mask = having_mask(ctx, self.predicates, self.having_nodes, groups)
+        keys = list(groups.group_columns)
+        masked_groups = ctx.backend.apply_mask(
+            [groups.group_columns[k] for k in keys], mask)
         return GroupsValue(
-            agg_values=[np.asarray(a)[mask] for a in groups.agg_values],
-            group_columns={k: np.asarray(v)[mask]
-                           for k, v in groups.group_columns.items()},
+            agg_values=ctx.backend.apply_mask(groups.agg_values, mask),
+            group_columns=dict(zip(keys, masked_groups)),
             n_rows=int(np.count_nonzero(mask)),
         )
 

@@ -98,6 +98,18 @@ class ProgramContext:
 
         return workers_policy(getattr(self.options, "workers", None))
 
+    @property
+    def backend(self):
+        """The active :class:`~repro.tensor.backend.TensorBackend` —
+        operators route gather/bincount/nonzero/mask primitives through
+        it so one selection covers the whole program."""
+        driver = self.driver
+        if driver is not None and getattr(driver, "backend", None) is not None:
+            return driver.backend
+        from repro.tensor.backend import get_backend
+
+        return get_backend(getattr(self.options, "backend", None))
+
     def referenced_columns(self, binding: str) -> int:
         return max(
             len({c.column for c in self.bound.resolution.values()

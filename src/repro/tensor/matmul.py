@@ -119,9 +119,14 @@ def msplit_gemm(
     b: np.ndarray,
     precision: Precision = Precision.FP16,
     memory_budget: float | None = None,
+    backend=None,
 ) -> tuple[np.ndarray, float]:
     """Blocked GEMM with real numerics: block-by-block TCU products
-    accumulated in fp32/int32, exactly as the streaming kernel would."""
+    accumulated in fp32/int32, exactly as the streaming kernel would.
+
+    ``backend`` (a :class:`repro.tensor.backend.TensorBackend`) supplies
+    the per-block product kernel; ``None`` uses the simulated unit
+    directly, which is bit-identical to passing ``SimBackend``."""
     if a.shape[1] != b.shape[0]:
         raise ReproError(f"incompatible shapes {a.shape} @ {b.shape}")
     m, k = a.shape
@@ -150,7 +155,12 @@ def msplit_gemm(
             for k0 in range(0, k, plan.block_k):
                 a_block = a[i0:i0 + plan.block_m, k0:k0 + plan.block_k]
                 b_block = b[k0:k0 + plan.block_k, j0:j0 + plan.block_n]
-                accumulator += device.tcu.matmul(a_block, b_block, precision)
+                if backend is None:
+                    accumulator += device.tcu.matmul(a_block, b_block,
+                                                     precision)
+                else:
+                    accumulator += backend.matmul(device, a_block, b_block,
+                                                  precision)
             result[i0:i0 + plan.block_m, j0:j0 + plan.block_n] = accumulator
     if rescale != 1.0:
         result = result * rescale

@@ -160,6 +160,70 @@ class TiledMatrix:
         return result, tile_pairs
 
 
+@dataclass(frozen=True)
+class TileLayout:
+    """Reusable tile structure for a family of same-sparsity matrices.
+
+    ``BatchedGemm``'s SPARSE path multiplies one indicator structure by
+    several value fills: every grid in the batch shares the COO
+    coordinates and differs only in ``vals``.  Building a
+    :class:`TiledMatrix` per grid re-derives block keys, uniques and
+    within-tile offsets each time; a ``TileLayout`` derives them once
+    from the coordinates, and :meth:`fill` then materializes each
+    member of the batch with a single fancy-index assignment.
+    """
+
+    block_rows: np.ndarray
+    block_cols: np.ndarray
+    tile_index: np.ndarray
+    within_rows: np.ndarray
+    within_cols: np.ndarray
+    shape: tuple[int, int]
+
+    @staticmethod
+    def from_coords(rows: np.ndarray, cols: np.ndarray,
+                    shape: tuple[int, int]) -> "TileLayout":
+        """Derive the tile structure from canonical (unique) coordinates."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.size == 0:
+            empty = np.array([], dtype=np.int64)
+            return TileLayout(empty, empty, empty, empty, empty, shape)
+        blocks_per_row = -(-shape[1] // TILE)
+        keys = (rows // TILE) * blocks_per_row + cols // TILE
+        unique_keys, tile_index = np.unique(keys, return_inverse=True)
+        return TileLayout(
+            block_rows=unique_keys // blocks_per_row,
+            block_cols=unique_keys % blocks_per_row,
+            tile_index=tile_index,
+            within_rows=rows % TILE,
+            within_cols=cols % TILE,
+            shape=shape,
+        )
+
+    @property
+    def n_tiles(self) -> int:
+        return int(self.block_rows.size)
+
+    def fill(self, vals: np.ndarray) -> TiledMatrix:
+        """One value assignment → a TiledMatrix sharing this structure.
+
+        Cells whose value is zero stay stored (as explicit zeros inside
+        their tile), so every fill of a layout has identical tile
+        geometry — that is what makes the batch single-pass.
+        """
+        tiles = np.zeros((self.n_tiles, TILE, TILE), dtype=np.float64)
+        if self.n_tiles:
+            tiles[self.tile_index, self.within_rows, self.within_cols] = (
+                np.asarray(vals, dtype=np.float64))
+        return TiledMatrix(
+            block_rows=self.block_rows,
+            block_cols=self.block_cols,
+            tiles=tiles,
+            shape=self.shape,
+        )
+
+
 def tile_pair_count(a: TiledMatrix, b: TiledMatrix) -> int:
     """MMA issues of a @ b: sum over inner blocks of |A tiles| x |B tiles|."""
     if a.shape[1] != b.shape[0]:
